@@ -1,0 +1,245 @@
+// sspd-portal is the paper's "central access portal" as an interactive
+// console: it boots a demo federation (quotes + trades over simulated or
+// TCP transport), streams live market data through it in the background,
+// and accepts sspdql continuous queries on stdin. Results print as they
+// arrive, tagged by query.
+//
+// Commands:
+//
+//	FROM quotes WHERE ... [AGGREGATE ...]   submit a continuous query
+//	\list                                   list active queries and hosts
+//	\drop <id>                              withdraw a query
+//	\stats                                  federation statistics
+//	\rebalance                              run a hybrid rebalance
+//	\save <file> / \load <file>             snapshot / restore the query set
+//	\quit                                   exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sspd"
+	"sspd/internal/httpapi"
+)
+
+func main() {
+	entities := flag.Int("entities", 4, "number of entities")
+	procs := flag.Int("procs", 2, "processors per entity")
+	rate := flag.Int("rate", 200, "quotes published per second")
+	useTCP := flag.Bool("tcp", false, "use real TCP sockets instead of the simulated network")
+	maxPrint := flag.Int("print", 5, "max results printed per query per second")
+	httpAddr := flag.String("http", "", "also serve the JSON API on this address (e.g. :8080)")
+	flag.Parse()
+
+	var transport sspd.Transport
+	if *useTCP {
+		transport = sspd.NewTCPNet()
+	} else {
+		transport = sspd.NewSimNet(nil)
+	}
+	defer transport.Close()
+
+	catalog := sspd.NewCatalog(100, 20)
+	fed, err := sspd.NewFederation(transport, catalog, sspd.Options{
+		Strategy: sspd.Locality,
+		Fanout:   3,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fed.Close()
+	if err := fed.AddSource("quotes", sspd.Point{},
+		sspd.StreamRate{TuplesPerSec: float64(*rate), BytesPerTuple: 60}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := fed.AddSource("trades", sspd.Point{X: 5},
+		sspd.StreamRate{TuplesPerSec: float64(*rate) / 2, BytesPerTuple: 40}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 0; i < *entities; i++ {
+		id := fmt.Sprintf("e%02d", i)
+		pos := sspd.Point{X: float64(10 + i*17%90), Y: float64(5 + i*29%90)}
+		if err := fed.AddEntity(id, pos, *procs, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := fed.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Background market: publish batches at ~rate tuples/second.
+	stop := make(chan struct{})
+	go func() {
+		tick := sspd.NewTicker(time.Now().UnixNano(), 100, 1.3)
+		interval := 100 * time.Millisecond
+		per := *rate / 10
+		if per < 1 {
+			per = 1
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_ = fed.Publish("quotes", tick.Batch(per))
+				var trades sspd.Batch
+				for i := 0; i < per/2; i++ {
+					trades = append(trades, tick.NextTrade())
+				}
+				if len(trades) > 0 {
+					_ = fed.Publish("trades", trades)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	if *httpAddr != "" {
+		api, err := httpapi.New(fed, sspd.Point{X: 50, Y: 50})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, api.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("JSON API listening on %s\n", *httpAddr)
+	}
+
+	fmt.Printf("sspd portal: %d entities × %d processors, %d quotes/s (transport: %T)\n",
+		*entities, *procs, *rate, transport)
+	fmt.Println(`type an sspdql query ("FROM quotes WHERE price <= 200"), or \list \drop \stats \rebalance \quit`)
+
+	nextID := 0
+	states := map[string]*qstate{}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\list`:
+			for id, st := range states {
+				if host, ok := fed.QueryEntity(id); ok {
+					fmt.Printf("  %-8s on %-4s results=%d\n", id, host, st.count.Load())
+				}
+			}
+		case line == `\stats`:
+			tr := transport.Traffic()
+			fmt.Printf("  entities=%d queries=%d traffic=%dKB msgs=%d\n",
+				len(fed.EntityIDs()), fed.NumQueries(),
+				tr.TotalBytes()/1024, tr.TotalMessages())
+			for _, c := range fed.Ledger().Charges() {
+				fmt.Printf("  %-4s charged %v\n", c.Entity, c.Execution.Round(time.Millisecond))
+			}
+		case line == `\rebalance`:
+			moved, err := fed.Rebalance(sspd.HybridRepartitioner{})
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			fmt.Printf("  migrated %d queries\n", moved)
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			data, err := fed.ExportQueries()
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			fmt.Printf("  saved %d bytes to %s\n", len(data), path)
+		case strings.HasPrefix(line, `\load `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\load `))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			added, err := fed.ImportQueries(data, sspd.Point{X: 50, Y: 50})
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			fmt.Printf("  restored %d queries (results not re-subscribed)\n", added)
+		case strings.HasPrefix(line, `\drop `):
+			id := strings.TrimSpace(strings.TrimPrefix(line, `\drop `))
+			if err := fed.RemoveQuery(id); err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			delete(states, id)
+			fmt.Printf("  dropped %s\n", id)
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("  unknown command")
+		default:
+			nextID++
+			id := fmt.Sprintf("q%03d", nextID)
+			spec, err := sspd.ParseQuery(id, line)
+			if err != nil {
+				fmt.Println("  parse error:", err)
+				nextID--
+				continue
+			}
+			st := &qstate{}
+			states[id] = st
+			budget := int64(*maxPrint)
+			entity, err := fed.SubmitQuery(spec, sspd.Point{X: 50, Y: 50}, func(t sspd.Tuple) {
+				n := st.count.Add(1)
+				if st.window.Add(1) <= budget {
+					fmt.Printf("  [%s #%d] %v\n", id, n, t)
+				}
+			})
+			if err != nil {
+				fmt.Println("  error:", err)
+				delete(states, id)
+				nextID--
+				continue
+			}
+			// Reset the print window every second.
+			go func() {
+				t := time.NewTicker(time.Second)
+				defer t.Stop()
+				for range t.C {
+					if _, ok := fed.QueryEntity(id); !ok {
+						return
+					}
+					st.window.Store(0)
+				}
+			}()
+			fmt.Printf("  %s -> %s   (%s)\n", id, entity, sspd.FormatQuery(spec))
+		}
+	}
+}
+
+// qstate tracks one query's console bookkeeping.
+type qstate struct {
+	count  atomic.Int64
+	window atomic.Int64 // results printed in the current second
+}

@@ -1,0 +1,127 @@
+// Churn: the "adaptable" half of the paper's title, live — entities join
+// and leave a running federation, one crashes and is expelled by
+// heartbeat detection, queries migrate and keep producing, dissemination
+// trees rewire and reorganize toward shorter edges, and the ledger pays
+// each entity for exactly the time it served.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"sspd"
+)
+
+func main() {
+	net := sspd.NewSimNet(nil)
+	defer net.Close()
+	catalog := sspd.NewCatalog(100, 20)
+	fed, err := sspd.NewFederation(net, catalog, sspd.Options{
+		Strategy: sspd.Balanced, // geometry-blind: reorganization will have work
+		Fanout:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fed.Close()
+
+	if err := fed.AddSource("quotes", sspd.Point{},
+		sspd.StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		pos := sspd.Point{X: float64((i*37)%90 + 5), Y: float64((i*61)%90 + 5)}
+		if err := fed.AddEntity(fmt.Sprintf("e%02d", i), pos, 2, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := fed.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	var results atomic.Int64
+	for i := 0; i < 12; i++ {
+		spec := sspd.QuerySpec{
+			ID:     fmt.Sprintf("q%02d", i),
+			Source: "quotes",
+			Filters: []sspd.FilterSpec{
+				{Field: "price", Lo: float64(i * 80), Hi: float64(i*80 + 200)},
+			},
+			Load: float64(1 + i%5),
+		}
+		if _, err := fed.SubmitQuery(spec, sspd.Point{X: float64(i * 8), Y: 20},
+			func(sspd.Tuple) { results.Add(1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tick := sspd.NewTicker(3, 100, 1.3)
+	publish := func(label string) {
+		before := results.Load()
+		if err := fed.Publish("quotes", tick.Batch(500)); err != nil {
+			log.Fatal(err)
+		}
+		net.Quiesce(5 * time.Second)
+		time.Sleep(50 * time.Millisecond)
+		fmt.Printf("%-34s entities=%d results +%d\n",
+			label, len(fed.EntityIDs()), results.Load()-before)
+	}
+
+	fmt.Println("phase 1: steady state")
+	publish("  published 500 quotes")
+
+	fmt.Println("\nphase 2: two entities join live")
+	for _, e := range []struct {
+		id string
+		x  float64
+	}{{"e90", 30}, {"e91", 60}} {
+		if err := fed.JoinEntity(e.id, sspd.Point{X: e.x, Y: 50}, 2, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	moved, err := fed.Rebalance(sspd.HybridRepartitioner{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  rebalance migrated %d queries to the joiners\n", moved)
+	publish("  published 500 quotes")
+
+	fmt.Println("\nphase 3: dissemination-tree reorganization")
+	tree := fed.DisseminationTree("quotes")
+	before := tree.TotalEdgeLength()
+	total := 0
+	for pass := 0; pass < 10; pass++ {
+		n, err := fed.ReorganizeTrees()
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	fmt.Printf("  %d rewires: total edge length %.0f -> %.0f\n",
+		total, before, tree.TotalEdgeLength())
+	publish("  published 500 quotes")
+
+	fmt.Println("\nphase 4: e01 leaves politely, e02 crashes")
+	migrated, err := fed.LeaveEntity("e01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  e01 left; %d queries migrated\n", migrated)
+	replaced, err := fed.FailEntity("e02")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  e02 expelled; %d queries re-placed from their specs\n", replaced)
+	publish("  published 500 quotes")
+
+	fmt.Println("\nledger (pay per execution time):")
+	for _, c := range fed.Ledger().Charges() {
+		fmt.Printf("  %-5s %8v\n", c.Entity, c.Execution.Round(time.Millisecond))
+	}
+	fmt.Printf("\ntotal results delivered: %d; federation still serving %d queries on %d entities\n",
+		results.Load(), fed.NumQueries(), len(fed.EntityIDs()))
+}

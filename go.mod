@@ -1,0 +1,3 @@
+module sspd
+
+go 1.24

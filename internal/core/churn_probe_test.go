@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspd/internal/dissemination"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+// TestReorganizeNoTupleLoss pins the make-before-break guarantee: a
+// full tree reorganization between publishes loses no tuples, because
+// each rewired subtree's interest reaches the new path's ancestors
+// before the data path flips.
+func TestReorganizeNoTupleLoss(t *testing.T) {
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	catalog := workload.Catalog(100, 20)
+	fed, err := New(net, catalog, Options{Strategy: dissemination.Balanced, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 100, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		pos := simnet.Point{X: float64((i*37)%90 + 5), Y: float64((i*61)%90 + 5)}
+		if err := fed.AddEntity(fmt.Sprintf("e%02d", i), pos, 2, miniFactory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var results atomic.Int64
+	for i := 0; i < 12; i++ {
+		spec := priceQuery(fmt.Sprintf("q%02d", i), float64(i*80), float64(i*80+200))
+		if _, err := fed.SubmitQuery(spec, simnet.Point{X: float64(i * 8)}, func(stream.Tuple) { results.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Quiesce(5 * time.Second)
+	// Fixed batch so expectations are exact.
+	var batch stream.Batch
+	for i := 0; i < 500; i++ {
+		batch = append(batch, stream.NewTuple("quotes", uint64(i), time.Unix(int64(i), 0).UTC(),
+			stream.String(fmt.Sprintf("S%04d", i%100)), stream.Float(float64(i*2%1000)), stream.Int(1)))
+	}
+	want := int64(0)
+	for _, tu := range batch {
+		p := tu.Value(1).AsFloat()
+		for i := 0; i < 12; i++ {
+			lo, hi := float64(i*80), float64(i*80+200)
+			if p >= lo && p <= hi {
+				want++
+			}
+		}
+	}
+	check := func(label string) {
+		before := results.Load()
+		if err := fed.Publish("quotes", batch); err != nil {
+			t.Fatal(err)
+		}
+		net.Quiesce(5 * time.Second)
+		time.Sleep(30 * time.Millisecond)
+		got := results.Load() - before
+		t.Logf("%s: got %d want %d", label, got, want)
+		if got != want {
+			t.Errorf("%s: results %d != %d", label, got, want)
+		}
+	}
+	check("before reorganize")
+	n, err := fed.ReorganizeTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing to reorganize (bad fixture)")
+	}
+	check("immediately after reorganize")
+	check("steady after reorganize")
+}

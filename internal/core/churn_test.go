@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/querygraph"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+func TestJoinEntityLive(t *testing.T) {
+	fed, net := newTestFederation(t, 2)
+	if err := fed.JoinEntity("late", simnet.Point{X: 50}, 2, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.JoinEntity("late", simnet.Point{}, 1, miniFactory); err == nil {
+		t.Error("duplicate live join accepted")
+	}
+	if got := len(fed.EntityIDs()); got != 3 {
+		t.Fatalf("entities = %d", got)
+	}
+	// The late joiner can host queries and receives stream data.
+	var mu sync.Mutex
+	results := 0
+	if err := fed.SubmitQueryTo(priceQuery("q-late", 0, 1000), "late",
+		func(stream.Tuple) { mu.Lock(); results++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(5, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(30)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if results != 30 {
+		t.Fatalf("late joiner results = %d, want 30", results)
+	}
+	// Dissemination trees remain valid with the new member.
+	if err := fed.DisseminationTree("quotes").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinEntityRequiresStart(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	fed, err := New(net, workload.Catalog(10, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.JoinEntity("x", simnet.Point{}, 1, miniFactory); err == nil {
+		t.Error("live join before Start accepted")
+	}
+}
+
+func TestLeaveEntityMigratesQueries(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	var mu sync.Mutex
+	results := map[string]int{}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("q%d", i)
+		qid := id
+		if err := fed.SubmitQueryTo(priceQuery(id, 0, 1000), "e00",
+			func(stream.Tuple) { mu.Lock(); results[qid]++; mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	migrated, err := fed.LeaveEntity("e00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 4 {
+		t.Fatalf("migrated = %d, want 4", migrated)
+	}
+	if _, err := fed.LeaveEntity("e00"); err == nil {
+		t.Error("double leave accepted")
+	}
+	if got := len(fed.EntityIDs()); got != 2 {
+		t.Fatalf("entities = %d", got)
+	}
+	for i := 0; i < 4; i++ {
+		host, ok := fed.QueryEntity(fmt.Sprintf("q%d", i))
+		if !ok || host == "e00" {
+			t.Fatalf("q%d on %s/%v after leave", i, host, ok)
+		}
+	}
+	// All queries still produce results on the survivors.
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(6, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(10)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if got := results[fmt.Sprintf("q%d", i)]; got != 10 {
+			t.Errorf("q%d results after migration = %d, want 10", i, got)
+		}
+	}
+	if err := fed.DisseminationTree("quotes").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveLastEntityRefused(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	if _, err := fed.LeaveEntity("e00"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.LeaveEntity("e01"); err == nil {
+		t.Error("removing the last entity accepted")
+	}
+}
+
+func TestReorganizeTreesLive(t *testing.T) {
+	// Build with the Balanced strategy (geometry-blind) so reorganizing
+	// toward locality has work to do.
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	catalog := workload.Catalog(100, 20)
+	fed, err := New(net, catalog, Options{Strategy: 1 /* Balanced */, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 100, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		pos := simnet.Point{X: float64((i * 37) % 100), Y: float64((i * 61) % 100)}
+		if err := fed.AddEntity(fmt.Sprintf("e%02d", i), pos, 1, miniFactory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	results := 0
+	if err := fed.SubmitQueryTo(priceQuery("q", 0, 1000), "e03",
+		func(stream.Tuple) { mu.Lock(); results++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tree := fed.DisseminationTree("quotes")
+	before := tree.TotalEdgeLength()
+	total := 0
+	for pass := 0; pass < 10; pass++ {
+		n, err := fed.ReorganizeTrees()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	if total == 0 {
+		t.Fatal("reorganization found nothing to improve on a balanced tree")
+	}
+	if after := tree.TotalEdgeLength(); after >= before {
+		t.Fatalf("edge length %v -> %v", before, after)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Data still flows to the query after rewiring.
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(7, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if results != 20 {
+		t.Fatalf("results after reorganization = %d, want 20", results)
+	}
+}
+
+func TestChurnThenRebalance(t *testing.T) {
+	// Join + leave + rebalance interleaved: the federation stays
+	// consistent and queries keep flowing.
+	fed, net := newTestFederation(t, 3)
+	for i := 0; i < 9; i++ {
+		if err := fed.SubmitQueryTo(priceQuery(fmt.Sprintf("q%d", i), 0, 500), "e00", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fed.JoinEntity("e99", simnet.Point{X: 70}, 2, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Rebalance(querygraph.HybridRepartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	// The late joiner should have received some of the load.
+	hostCounts := map[string]int{}
+	for i := 0; i < 9; i++ {
+		host, _ := fed.QueryEntity(fmt.Sprintf("q%d", i))
+		hostCounts[host]++
+	}
+	if hostCounts["e00"] == 9 {
+		t.Error("rebalance after join moved nothing")
+	}
+	if _, err := fed.LeaveEntity("e01"); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	if fed.NumQueries() != 9 {
+		t.Fatalf("queries = %d", fed.NumQueries())
+	}
+}
+
+func TestFederationAdaptOrdering(t *testing.T) {
+	// Early filtering means a lone query's filters only ever see
+	// matching tuples; operator ordering matters when co-located
+	// queries share the entity's (union) interest traffic. q1 and q2
+	// have disjoint volume interests; the workload matches q2, so q1's
+	// volume filter rejects everything and must move to the front.
+	fed, net := newTestFederation(t, 2)
+	q1 := engine.QuerySpec{
+		ID:     "q1",
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: 0, Hi: 1000, Cost: 1}, // passes all
+			{Field: "volume", Lo: 0, Hi: 100, Cost: 1}, // rejects the workload
+		},
+	}
+	q2 := engine.QuerySpec{
+		ID:     "q2",
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "volume", Lo: 200000, Hi: 1000000, Cost: 1},
+		},
+	}
+	if err := fed.SubmitQueryTo(q1, "e00", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SubmitQueryTo(q2, "e00", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	var batch stream.Batch
+	for i := 0; i < 300; i++ {
+		batch = append(batch, stream.NewTuple("quotes", uint64(i),
+			time.Unix(int64(i), 0).UTC(),
+			stream.String("S0000"), stream.Float(500), stream.Int(999999)))
+	}
+	if err := fed.Publish("quotes", batch); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	if n := fed.AdaptOrdering(0); n != 1 {
+		t.Fatalf("federation adapted %d queries, want 1 (q1)", n)
+	}
+}
+
+func TestAutoRebalance(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	if err := fed.StartAutoRebalance(0, querygraph.HybridRepartitioner{}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := fed.StartAutoRebalance(time.Hour, nil); err == nil {
+		t.Error("nil repartitioner accepted")
+	}
+	// Pile queries on one entity; the loop should spread them.
+	for i := 0; i < 6; i++ {
+		if err := fed.SubmitQueryTo(priceQuery(fmt.Sprintf("q%d", i), 0, 500), "e00", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fed.StartAutoRebalance(20*time.Millisecond, querygraph.HybridRepartitioner{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.StartAutoRebalance(time.Hour, querygraph.HybridRepartitioner{}); err == nil {
+		t.Error("double start accepted")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fed.AutoRebalanceMoves() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-rebalance never moved a query")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fed.StopAutoRebalance()
+	fed.StopAutoRebalance() // idempotent
+	// Consistency after the loop.
+	if fed.NumQueries() != 6 {
+		t.Fatalf("queries = %d", fed.NumQueries())
+	}
+	hostCounts := map[string]int{}
+	for i := 0; i < 6; i++ {
+		host, ok := fed.QueryEntity(fmt.Sprintf("q%d", i))
+		if !ok {
+			t.Fatalf("q%d lost", i)
+		}
+		hostCounts[host]++
+	}
+	if hostCounts["e00"] == 6 {
+		t.Error("nothing moved off e00")
+	}
+}

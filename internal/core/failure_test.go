@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+func TestFailEntityReplacesQueries(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	var mu sync.Mutex
+	results := map[string]int{}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("q%d", i)
+		qid := id
+		if err := fed.SubmitQueryTo(priceQuery(id, 0, 1000), "e01",
+			func(stream.Tuple) { mu.Lock(); results[qid]++; mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	// e01 crashes: no cooperation, queries rebuilt from specs.
+	replaced, err := fed.FailEntity("e01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced != 3 {
+		t.Fatalf("replaced = %d, want 3", replaced)
+	}
+	if _, err := fed.FailEntity("e01"); err == nil {
+		t.Error("double fail accepted")
+	}
+	for i := 0; i < 3; i++ {
+		host, ok := fed.QueryEntity(fmt.Sprintf("q%d", i))
+		if !ok || host == "e01" {
+			t.Fatalf("q%d on %s/%v after failure", i, host, ok)
+		}
+	}
+	if err := fed.DisseminationTree("quotes").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Result callbacks survive the re-placement.
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(8, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(10)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 3; i++ {
+		if got := results[fmt.Sprintf("q%d", i)]; got != 10 {
+			t.Errorf("q%d results after failure = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestFailLastEntityRefused(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	if _, err := fed.FailEntity("e00"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.FailEntity("e01"); err == nil {
+		t.Error("expelling the last entity accepted")
+	}
+}
+
+func TestFailureDetectionExpelsDeadEntity(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	if err := fed.EnableFailureDetection(20*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableFailureDetection(time.Second, 2); err == nil {
+		t.Error("double enable accepted")
+	}
+	if fed.Monitor() == nil {
+		t.Fatal("monitor missing")
+	}
+	if err := fed.SubmitQueryTo(priceQuery("q1", 0, 1000), "e02", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill e02's heartbeat responder out-of-band (simulating a crash of
+	// the whole entity process).
+	if err := net.Deregister(hbID("e02")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(fed.EntityIDs()) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead entity not expelled; entities = %v", fed.EntityIDs())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The orphaned query was re-placed.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if host, ok := fed.QueryEntity("q1"); ok && host != "e02" {
+			break
+		}
+		if time.Now().After(deadline) {
+			host, ok := fed.QueryEntity("q1")
+			t.Fatalf("q1 not re-placed: %s/%v", host, ok)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWatchNewEntities(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	fed.WatchNewEntities() // no monitor yet: no-op
+	if err := fed.EnableFailureDetection(time.Hour, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fed.Monitor().Watched()); got != 2 {
+		t.Fatalf("watched = %d", got)
+	}
+	if err := fed.JoinEntity("late", simnet.Point{X: 99}, 1, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	fed.WatchNewEntities()
+	if got := len(fed.Monitor().Watched()); got != 3 {
+		t.Fatalf("watched after join = %d", got)
+	}
+}

@@ -1,0 +1,1102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sspd/internal/coordinator"
+	"sspd/internal/dissemination"
+	"sspd/internal/engine"
+	"sspd/internal/entity"
+	"sspd/internal/metrics"
+	"sspd/internal/querygraph"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+// Options configures a federation.
+type Options struct {
+	// Strategy selects the dissemination-tree shape (default Locality).
+	Strategy dissemination.Strategy
+	// Fanout bounds dissemination-tree children per node (default 4).
+	Fanout int
+	// CoordinatorK is the coordinator-tree cluster parameter (default 3).
+	CoordinatorK int
+	// PartitionEpsilon is the allocation balance tolerance (default 0.2).
+	PartitionEpsilon float64
+	// FragmentsPerQuery is how many fragments each query splits into
+	// inside its entity (default 1; joins never split).
+	FragmentsPerQuery int
+	// Clock is the accounting clock (default wall clock).
+	Clock func() time.Time
+}
+
+func (o Options) normalized() Options {
+	if o.Fanout <= 0 {
+		o.Fanout = 4
+	}
+	if o.CoordinatorK < 2 {
+		o.CoordinatorK = 3
+	}
+	if o.PartitionEpsilon <= 0 {
+		o.PartitionEpsilon = 0.2
+	}
+	if o.FragmentsPerQuery <= 0 {
+		o.FragmentsPerQuery = 1
+	}
+	return o
+}
+
+// Federation is the running two-layer system (Figure 1): stream sources,
+// entities (each an intra-entity cluster wrapped by dissemination
+// relays), the coordinator tree that routes the query stream, the query
+// graph that drives allocation, and the ledger that pays entities.
+type Federation struct {
+	transport simnet.Transport
+	catalog   *stream.Catalog
+	opts      Options
+
+	mu       sync.Mutex
+	sources  map[string]*sourceNode
+	entities map[string]*entityNode
+	coord    *coordinator.Tree
+	ledger   *Ledger
+	rates    map[string]StreamRate
+	queries  map[string]*fedQuery
+	results  map[string]func(stream.Tuple)
+	// relayIndex locates any relay (entity or source) by endpoint, for
+	// refreshing interests after dynamic tree rewires.
+	relayIndex map[simnet.NodeID]*dissemination.Relay
+	// monitor is the portal-side failure detector (nil until
+	// EnableFailureDetection).
+	monitor *coordinator.Detector
+	// rebalanceStop/Done manage the auto-rebalance loop.
+	rebalanceStop  chan struct{}
+	rebalanceDone  chan struct{}
+	rebalanceMoves metrics.Counter
+	started        bool
+	closed         bool
+}
+
+type sourceNode struct {
+	stream string
+	pos    simnet.Point
+	rate   StreamRate
+	relay  *dissemination.Relay
+	tree   *dissemination.Tree
+}
+
+type entityNode struct {
+	id     string
+	pos    simnet.Point
+	ent    *entity.Entity
+	relays map[string]*dissemination.Relay // stream -> relay
+	// hb is the entity's heartbeat responder endpoint.
+	hb *coordinator.Detector
+}
+
+// hbID names an entity's heartbeat endpoint.
+func hbID(entityID string) simnet.NodeID {
+	return simnet.NodeID(entityID + "/hb")
+}
+
+type fedQuery struct {
+	spec   engine.QuerySpec
+	entity string
+}
+
+// relayID names an entity's per-stream dissemination endpoint.
+func relayID(entityID, streamName string) simnet.NodeID {
+	return simnet.NodeID(entityID + ":" + streamName)
+}
+
+func sourceID(streamName string) simnet.NodeID {
+	return simnet.NodeID("src:" + streamName)
+}
+
+// New creates an empty federation.
+func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Federation, error) {
+	if transport == nil || catalog == nil {
+		return nil, fmt.Errorf("core: federation needs a transport and a catalog")
+	}
+	opts = opts.normalized()
+	return &Federation{
+		transport:  transport,
+		catalog:    catalog,
+		opts:       opts,
+		sources:    make(map[string]*sourceNode),
+		entities:   make(map[string]*entityNode),
+		coord:      coordinator.NewTree(opts.CoordinatorK),
+		ledger:     NewLedger(opts.Clock),
+		rates:      make(map[string]StreamRate),
+		queries:    make(map[string]*fedQuery),
+		results:    make(map[string]func(stream.Tuple)),
+		relayIndex: make(map[simnet.NodeID]*dissemination.Relay),
+	}, nil
+}
+
+// AddSource registers a stream source before Start. rate is the nominal
+// stream rate used for query-graph edge weights.
+func (f *Federation) AddSource(streamName string, pos simnet.Point, rate StreamRate) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("core: sources must be added before Start")
+	}
+	if _, ok := f.catalog.Lookup(streamName); !ok {
+		return fmt.Errorf("core: stream %q not in the global schema", streamName)
+	}
+	if _, dup := f.sources[streamName]; dup {
+		return fmt.Errorf("core: source for %q already added", streamName)
+	}
+	f.sources[streamName] = &sourceNode{stream: streamName, pos: pos, rate: rate}
+	f.rates[streamName] = rate
+	return nil
+}
+
+// AddEntity registers a business entity before Start. factory selects
+// its engine (nil = the full asynchronous engine).
+func (f *Federation) AddEntity(id string, pos simnet.Point, nProcs int, factory entity.EngineFactory) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("core: entities must be added before Start")
+	}
+	if _, dup := f.entities[id]; dup {
+		return fmt.Errorf("core: entity %q already added", id)
+	}
+	ent, err := entity.New(id, f.transport, f.catalog, nProcs, factory)
+	if err != nil {
+		return err
+	}
+	ent.SetResultHandler(f.deliverResult)
+	hb, err := coordinator.NewDetector(f.transport, hbID(id), time.Second, 3, nil)
+	if err != nil {
+		ent.Close()
+		return err
+	}
+	if _, err := f.coord.Join(coordinator.MemberID(id), pos); err != nil {
+		_ = hb.Close()
+		ent.Close()
+		return err
+	}
+	f.entities[id] = &entityNode{
+		id:     id,
+		pos:    pos,
+		ent:    ent,
+		relays: make(map[string]*dissemination.Relay),
+		hb:     hb,
+	}
+	return nil
+}
+
+// Start builds one dissemination tree per source stream over all
+// entities and wires each entity's relay to its intra-entity ingest.
+func (f *Federation) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("core: already started")
+	}
+	if len(f.sources) == 0 {
+		return fmt.Errorf("core: no sources")
+	}
+	if len(f.entities) == 0 {
+		return fmt.Errorf("core: no entities")
+	}
+	ids := make([]string, 0, len(f.entities))
+	for id := range f.entities {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	streams := make([]string, 0, len(f.sources))
+	for s := range f.sources {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+
+	for _, s := range streams {
+		src := f.sources[s]
+		members := make([]dissemination.Member, 0, len(ids))
+		for _, id := range ids {
+			members = append(members, dissemination.Member{
+				ID:  relayID(id, s),
+				Pos: f.entities[id].pos,
+			})
+		}
+		tree, err := dissemination.Build(s, dissemination.Member{ID: sourceID(s), Pos: src.pos},
+			members, f.opts.Strategy, f.opts.Fanout)
+		if err != nil {
+			return err
+		}
+		schema, _ := f.catalog.Lookup(s)
+		srcRelay, err := dissemination.NewRelay(tree, sourceID(s), schema, f.transport, nil, 0)
+		if err != nil {
+			return err
+		}
+		src.relay = srcRelay
+		src.tree = tree
+		f.relayIndex[sourceID(s)] = srcRelay
+		for _, id := range ids {
+			en := f.entities[id]
+			ingest := en.ent.Ingest
+			relay, err := dissemination.NewRelay(tree, relayID(id, s), schema,
+				f.transport, ingest, 0)
+			if err != nil {
+				return err
+			}
+			en.relays[s] = relay
+			f.relayIndex[relayID(id, s)] = relay
+		}
+	}
+	f.started = true
+	return nil
+}
+
+// Publish injects a batch at a stream's source and disseminates it.
+func (f *Federation) Publish(streamName string, batch stream.Batch) error {
+	f.mu.Lock()
+	src, ok := f.sources[streamName]
+	started := f.started
+	f.mu.Unlock()
+	if !started {
+		return fmt.Errorf("core: federation not started")
+	}
+	if !ok || src.relay == nil {
+		return fmt.Errorf("core: no source for %q", streamName)
+	}
+	return src.relay.Publish(batch)
+}
+
+// SubmitQuery allocates a query via the coordinator tree: the query
+// enters at its client's origin, descends to the least-loaded entity of
+// the closest leaf cluster, and is placed there. onResult may be nil.
+// It returns the chosen entity.
+func (f *Federation) SubmitQuery(spec engine.QuerySpec, origin simnet.Point,
+	onResult func(stream.Tuple)) (string, error) {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return "", fmt.Errorf("core: federation not started")
+	}
+	if _, dup := f.queries[spec.ID]; dup {
+		f.mu.Unlock()
+		return "", fmt.Errorf("core: query %s already submitted", spec.ID)
+	}
+	load := func(m coordinator.MemberID) float64 {
+		if en, ok := f.entities[string(m)]; ok {
+			return en.ent.Load()
+		}
+		return 0
+	}
+	member, _, err := f.coord.RouteQuery(origin, load)
+	f.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	entityID := string(member)
+	if err := f.placeOn(entityID, spec, onResult); err != nil {
+		return "", err
+	}
+	return entityID, nil
+}
+
+// SubmitQueryTo places a query on a specific entity (the batch
+// allocator's path).
+func (f *Federation) SubmitQueryTo(spec engine.QuerySpec, entityID string,
+	onResult func(stream.Tuple)) error {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if _, dup := f.queries[spec.ID]; dup {
+		f.mu.Unlock()
+		return fmt.Errorf("core: query %s already submitted", spec.ID)
+	}
+	f.mu.Unlock()
+	return f.placeOn(entityID, spec, onResult)
+}
+
+func (f *Federation) placeOn(entityID string, spec engine.QuerySpec, onResult func(stream.Tuple)) error {
+	f.mu.Lock()
+	en, ok := f.entities[entityID]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("core: unknown entity %q", entityID)
+	}
+	f.mu.Unlock()
+
+	if err := en.ent.PlaceQuery(spec, f.opts.FragmentsPerQuery); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.queries[spec.ID] = &fedQuery{spec: spec, entity: entityID}
+	if onResult != nil {
+		f.results[spec.ID] = onResult
+	}
+	f.mu.Unlock()
+	_ = f.ledger.Start(spec.ID, entityID)
+	return f.refreshInterests(entityID, spec.Streams())
+}
+
+// RemoveQuery withdraws a query from the federation.
+func (f *Federation) RemoveQuery(id string) error {
+	f.mu.Lock()
+	fq, ok := f.queries[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("core: unknown query %s", id)
+	}
+	delete(f.queries, id)
+	delete(f.results, id)
+	en := f.entities[fq.entity]
+	f.mu.Unlock()
+	if _, err := en.ent.RemoveQuery(id); err != nil {
+		return err
+	}
+	_ = f.ledger.Stop(id)
+	return f.refreshInterests(fq.entity, fq.spec.Streams())
+}
+
+// MigrateQuery moves a query to another entity at the query level — the
+// only migration granularity the loosely-coupled layer permits.
+func (f *Federation) MigrateQuery(id, toEntity string) error {
+	f.mu.Lock()
+	fq, ok := f.queries[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("core: unknown query %s", id)
+	}
+	if fq.entity == toEntity {
+		f.mu.Unlock()
+		return nil
+	}
+	from := f.entities[fq.entity]
+	to, ok := f.entities[toEntity]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("core: unknown entity %q", toEntity)
+	}
+	f.mu.Unlock()
+
+	spec, err := from.ent.RemoveQuery(id)
+	if err != nil {
+		return err
+	}
+	if err := to.ent.PlaceQuery(spec, f.opts.FragmentsPerQuery); err != nil {
+		return err
+	}
+	fromID := fq.entity
+	f.mu.Lock()
+	fq.entity = toEntity
+	f.mu.Unlock()
+	_ = f.ledger.Move(id, toEntity)
+	if err := f.refreshInterests(fromID, spec.Streams()); err != nil {
+		return err
+	}
+	return f.refreshInterests(toEntity, spec.Streams())
+}
+
+// refreshInterests pushes an entity's current aggregated interest for
+// the given streams into its dissemination relays (which re-register up
+// their trees).
+func (f *Federation) refreshInterests(entityID string, streams []string) error {
+	f.mu.Lock()
+	en, ok := f.entities[entityID]
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown entity %q", entityID)
+	}
+	for _, s := range streams {
+		relay := en.relays[s]
+		if relay == nil {
+			continue
+		}
+		if err := relay.SetLocalInterest(en.ent.Interest(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverResult routes a final result tuple to its query's subscriber.
+func (f *Federation) deliverResult(queryID string, t stream.Tuple) {
+	f.mu.Lock()
+	fn := f.results[queryID]
+	f.mu.Unlock()
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// QueryGraph builds the current query graph from all active queries.
+func (f *Federation) QueryGraph(minEdge float64) *querygraph.Graph {
+	f.mu.Lock()
+	specs := make([]engine.QuerySpec, 0, len(f.queries))
+	ids := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		specs = append(specs, f.queries[id].spec)
+	}
+	rates := make(map[string]StreamRate, len(f.rates))
+	for s, r := range f.rates {
+		rates[s] = r
+	}
+	f.mu.Unlock()
+	return BuildQueryGraph(specs, f.catalog, rates, 0)
+}
+
+// Assignment returns the current query→entity allocation as a
+// partitioning over the sorted entity list.
+func (f *Federation) Assignment() (querygraph.Partitioning, []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := f.entityIDsLocked()
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	p := make(querygraph.Partitioning, len(f.queries))
+	for q, fq := range f.queries {
+		p[querygraph.VertexID(q)] = index[fq.entity]
+	}
+	return p, ids
+}
+
+func (f *Federation) entityIDsLocked() []string {
+	ids := make([]string, 0, len(f.entities))
+	for id := range f.entities {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Rebalance runs a repartitioner over the live query graph and migrates
+// queries to realize the new assignment. It returns the number of
+// migrations performed.
+func (f *Federation) Rebalance(r querygraph.Repartitioner) (int, error) {
+	g := f.QueryGraph(0)
+	old, ids := f.Assignment()
+	res, err := r.Repartition(g, old, querygraph.Options{
+		K:       len(ids),
+		Epsilon: f.opts.PartitionEpsilon,
+	})
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	// Deterministic migration order.
+	qids := make([]string, 0, len(res.Assignment))
+	for q := range res.Assignment {
+		qids = append(qids, string(q))
+	}
+	sort.Strings(qids)
+	for _, q := range qids {
+		part := res.Assignment[querygraph.VertexID(q)]
+		if part < 0 || part >= len(ids) {
+			continue
+		}
+		target := ids[part]
+		f.mu.Lock()
+		fq, ok := f.queries[q]
+		cur := ""
+		if ok {
+			cur = fq.entity
+		}
+		f.mu.Unlock()
+		if !ok || cur == target {
+			continue
+		}
+		if err := f.MigrateQuery(q, target); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// JoinEntity adds an entity to a RUNNING federation (the paper's
+// "entities may join at any time"): it joins the coordinator tree and
+// every stream's dissemination tree, and becomes eligible for query
+// allocation immediately.
+func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory entity.EngineFactory) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.started {
+		return fmt.Errorf("core: federation not started (use AddEntity before Start)")
+	}
+	if _, dup := f.entities[id]; dup {
+		return fmt.Errorf("core: entity %q already present", id)
+	}
+	ent, err := entity.New(id, f.transport, f.catalog, nProcs, factory)
+	if err != nil {
+		return err
+	}
+	ent.SetResultHandler(f.deliverResult)
+	hb, err := coordinator.NewDetector(f.transport, hbID(id), time.Second, 3, nil)
+	if err != nil {
+		ent.Close()
+		return err
+	}
+	if _, err := f.coord.Join(coordinator.MemberID(id), pos); err != nil {
+		_ = hb.Close()
+		ent.Close()
+		return err
+	}
+	en := &entityNode{id: id, pos: pos, ent: ent, relays: make(map[string]*dissemination.Relay), hb: hb}
+	for _, s := range f.streamNamesLocked() {
+		src := f.sources[s]
+		rid := relayID(id, s)
+		rw, err := src.tree.AddMember(dissemination.Member{ID: rid, Pos: pos}, f.opts.Fanout)
+		if err != nil {
+			f.detachEntityLocked(en, id)
+			return err
+		}
+		schema, _ := f.catalog.Lookup(s)
+		relay, err := dissemination.NewRelay(src.tree, rid, schema, f.transport, ent.Ingest, 0)
+		if err != nil {
+			_, _ = src.tree.RemoveMember(rid, f.opts.Fanout)
+			f.detachEntityLocked(en, id)
+			return err
+		}
+		en.relays[s] = relay
+		f.relayIndex[rid] = relay
+		_ = rw // the new member has no interest yet; refresh happens on placement
+	}
+	f.entities[id] = en
+	return nil
+}
+
+// detachEntityLocked rolls back a partial JoinEntity.
+func (f *Federation) detachEntityLocked(en *entityNode, id string) {
+	for s, relay := range en.relays {
+		_ = relay.Close()
+		delete(f.relayIndex, relayID(id, s))
+		if src, ok := f.sources[s]; ok {
+			_, _ = src.tree.RemoveMember(relayID(id, s), f.opts.Fanout)
+		}
+	}
+	_ = f.coord.Leave(coordinator.MemberID(id))
+	if en.hb != nil {
+		_ = en.hb.Close()
+	}
+	en.ent.Close()
+}
+
+// LeaveEntity removes an entity from a RUNNING federation: its queries
+// migrate (query-level, as always) to surviving entities chosen through
+// the coordinator tree, its relays close, and the dissemination trees
+// rewire around it. It returns the number of queries migrated.
+func (f *Federation) LeaveEntity(id string) (int, error) {
+	f.mu.Lock()
+	en, ok := f.entities[id]
+	if !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("core: unknown entity %q", id)
+	}
+	if len(f.entities) < 2 {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("core: cannot remove the last entity")
+	}
+	// Queries hosted here, to migrate after the entity leaves the
+	// coordinator tree (so routing cannot pick it again).
+	var hosted []string
+	for q, fq := range f.queries {
+		if fq.entity == id {
+			hosted = append(hosted, q)
+		}
+	}
+	sort.Strings(hosted)
+	if err := f.coord.Leave(coordinator.MemberID(id)); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	pos := en.pos
+	f.mu.Unlock()
+
+	// Migrate each orphaned query to the entity the coordinator tree
+	// picks for the departing entity's locality.
+	migrated := 0
+	for _, q := range hosted {
+		f.mu.Lock()
+		load := func(m coordinator.MemberID) float64 {
+			if target, ok := f.entities[string(m)]; ok && string(m) != id {
+				return target.ent.Load()
+			}
+			return 0
+		}
+		member, _, err := f.coord.RouteQuery(pos, load)
+		f.mu.Unlock()
+		if err != nil {
+			return migrated, err
+		}
+		if err := f.MigrateQuery(q, string(member)); err != nil {
+			return migrated, err
+		}
+		migrated++
+	}
+
+	// Rewire the dissemination trees and drop the entity.
+	f.mu.Lock()
+	delete(f.entities, id)
+	streams := f.streamNamesLocked()
+	var refresh []*dissemination.Relay
+	for _, s := range streams {
+		src := f.sources[s]
+		rid := relayID(id, s)
+		relay := en.relays[s]
+		oldParent := src.tree.Parent(rid)
+		rewires, err := src.tree.RemoveMember(rid, f.opts.Fanout)
+		if err != nil {
+			f.mu.Unlock()
+			return migrated, err
+		}
+		if relay != nil {
+			_ = relay.Close()
+		}
+		delete(f.relayIndex, rid)
+		if pr, ok := f.relayIndex[oldParent]; ok {
+			pr.DropChild(rid)
+			refresh = append(refresh, pr)
+		}
+		for _, rw := range rewires {
+			if child, ok := f.relayIndex[rw.Child]; ok {
+				refresh = append(refresh, child)
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, r := range refresh {
+		if err := r.Refresh(); err != nil {
+			return migrated, err
+		}
+	}
+	if en.hb != nil {
+		_ = en.hb.Close()
+	}
+	en.ent.Close()
+	return migrated, nil
+}
+
+// FailEntity expels a crashed entity: unlike LeaveEntity, nothing is
+// asked of the entity itself. Its queries are re-placed on survivors
+// from their stored declarative specs (the loose coupling's recovery
+// story: a spec plus the stream is enough to rebuild a query anywhere).
+// It returns the number of queries re-placed.
+func (f *Federation) FailEntity(id string) (int, error) {
+	f.mu.Lock()
+	en, ok := f.entities[id]
+	if !ok {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("core: unknown entity %q", id)
+	}
+	if len(f.entities) < 2 {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("core: cannot expel the last entity")
+	}
+	delete(f.entities, id)
+	_ = f.coord.Fail(coordinator.MemberID(id))
+	// Collect the dead entity's queries; they leave the books entirely
+	// and re-enter through the normal placement path.
+	type orphan struct {
+		spec     engine.QuerySpec
+		onResult func(stream.Tuple)
+	}
+	var orphans []orphan
+	for q, fq := range f.queries {
+		if fq.entity == id {
+			orphans = append(orphans, orphan{spec: fq.spec, onResult: f.results[q]})
+			delete(f.queries, q)
+			delete(f.results, q)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].spec.ID < orphans[j].spec.ID })
+	pos := en.pos
+	streams := f.streamNamesLocked()
+	var refresh []*dissemination.Relay
+	for _, s := range streams {
+		src := f.sources[s]
+		rid := relayID(id, s)
+		oldParent := src.tree.Parent(rid)
+		rewires, err := src.tree.RemoveMember(rid, f.opts.Fanout)
+		if err != nil {
+			f.mu.Unlock()
+			return 0, err
+		}
+		if relay := en.relays[s]; relay != nil {
+			_ = relay.Close()
+		}
+		delete(f.relayIndex, rid)
+		if pr, ok := f.relayIndex[oldParent]; ok {
+			pr.DropChild(rid)
+			refresh = append(refresh, pr)
+		}
+		for _, rw := range rewires {
+			if child, ok := f.relayIndex[rw.Child]; ok {
+				refresh = append(refresh, child)
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	if en.hb != nil {
+		_ = en.hb.Close()
+	}
+	en.ent.Close()
+	f.mu.Lock()
+	if f.monitor != nil {
+		f.monitor.Unwatch(hbID(id))
+	}
+	f.mu.Unlock()
+	for _, r := range refresh {
+		if err := r.Refresh(); err != nil {
+			return 0, err
+		}
+	}
+	// Re-place every orphan where the coordinator tree routes it.
+	replaced := 0
+	for _, o := range orphans {
+		_ = f.ledger.Stop(o.spec.ID) // the dead entity's accrual ends
+		f.mu.Lock()
+		load := func(m coordinator.MemberID) float64 {
+			if target, ok := f.entities[string(m)]; ok {
+				return target.ent.Load()
+			}
+			return 0
+		}
+		member, _, err := f.coord.RouteQuery(pos, load)
+		f.mu.Unlock()
+		if err != nil {
+			return replaced, err
+		}
+		if err := f.placeOn(string(member), o.spec, o.onResult); err != nil {
+			return replaced, err
+		}
+		replaced++
+	}
+	return replaced, nil
+}
+
+// EnableFailureDetection starts portal-side heartbeat monitoring of
+// every current entity: an entity that misses `threshold` intervals is
+// expelled via FailEntity. Entities joining later are watched
+// automatically on their next WatchNewEntities call. It is safe to call
+// once, after Start.
+func (f *Federation) EnableFailureDetection(interval time.Duration, threshold int) error {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if f.monitor != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: failure detection already enabled")
+	}
+	f.mu.Unlock()
+	mon, err := coordinator.NewDetector(f.transport, "portal/hb", interval, threshold,
+		func(peer simnet.NodeID) {
+			id := strings.TrimSuffix(string(peer), "/hb")
+			go func() { _, _ = f.FailEntity(id) }()
+		})
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.monitor = mon
+	for id := range f.entities {
+		mon.Watch(hbID(id))
+	}
+	f.mu.Unlock()
+	mon.Start()
+	return nil
+}
+
+// WatchNewEntities adds any unwatched entities to the failure monitor.
+func (f *Federation) WatchNewEntities() {
+	f.mu.Lock()
+	mon := f.monitor
+	ids := f.entityIDsLocked()
+	f.mu.Unlock()
+	if mon == nil {
+		return
+	}
+	watched := make(map[simnet.NodeID]bool)
+	for _, w := range mon.Watched() {
+		watched[w] = true
+	}
+	for _, id := range ids {
+		if !watched[hbID(id)] {
+			mon.Watch(hbID(id))
+		}
+	}
+}
+
+// Monitor exposes the failure detector (nil when disabled); tests drive
+// its Tick directly for determinism.
+func (f *Federation) Monitor() *coordinator.Detector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.monitor
+}
+
+// AdaptOrdering runs the Adaptation Module sweep on every entity's
+// engines (where supported), returning total adaptation requests — the
+// federation-wide form of Section 4.2's runtime re-ordering.
+func (f *Federation) AdaptOrdering(minGain float64) int {
+	f.mu.Lock()
+	entities := make([]*entityNode, 0, len(f.entities))
+	for _, en := range f.entities {
+		entities = append(entities, en)
+	}
+	f.mu.Unlock()
+	n := 0
+	for _, en := range entities {
+		n += en.ent.AdaptOrdering(minGain)
+	}
+	return n
+}
+
+// ReorganizeTrees incrementally reorganizes every dissemination tree
+// toward shorter edges under the fanout bound. Each rewire is
+// make-before-break: the child's interest is pre-registered along the
+// new path and the registrations are allowed to settle BEFORE the tree
+// edge flips, so no in-flight tuple is filtered away by an ancestor that
+// does not yet know about the moved subtree. It returns the total number
+// of parent switches.
+func (f *Federation) ReorganizeTrees() (int, error) {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("core: federation not started")
+	}
+	streams := f.streamNamesLocked()
+	f.mu.Unlock()
+
+	total := 0
+	for _, s := range streams {
+		f.mu.Lock()
+		src := f.sources[s]
+		f.mu.Unlock()
+		if src == nil || src.tree == nil {
+			continue
+		}
+		for moves := 0; moves < 4*len(src.tree.Members()); moves++ {
+			rw, ok := src.tree.ReorganizeStep(f.opts.Fanout)
+			if !ok {
+				break
+			}
+			f.mu.Lock()
+			child := f.relayIndex[rw.Child]
+			oldParent := f.relayIndex[rw.OldParent]
+			f.mu.Unlock()
+			// Phase A: the future parent (and transitively the new
+			// path's ancestors) learn the subtree's interest first.
+			if child != nil {
+				if err := child.PreRegister(rw.NewParent); err != nil {
+					return total, err
+				}
+				f.Settle(2 * time.Second)
+			}
+			// Phase B: flip the edge; the new path already forwards
+			// for this subtree, the old path drains naturally.
+			if err := src.tree.ApplyRewire(rw, f.opts.Fanout); err != nil {
+				return total, err
+			}
+			total++
+			if child != nil {
+				if err := child.Refresh(); err != nil {
+					return total, err
+				}
+			}
+			if oldParent != nil {
+				oldParent.DropChild(rw.Child)
+				if err := oldParent.Refresh(); err != nil {
+					return total, err
+				}
+			}
+			f.Settle(2 * time.Second)
+		}
+	}
+	return total, nil
+}
+
+// StartAutoRebalance launches a background loop that re-runs the given
+// repartitioner every interval — the federation's continuous adaptation
+// to workload drift. Stop it with StopAutoRebalance (or Close).
+func (f *Federation) StartAutoRebalance(interval time.Duration, r querygraph.Repartitioner) error {
+	if interval <= 0 {
+		return fmt.Errorf("core: auto-rebalance needs a positive interval")
+	}
+	if r == nil {
+		return fmt.Errorf("core: auto-rebalance needs a repartitioner")
+	}
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if f.rebalanceStop != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: auto-rebalance already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.rebalanceStop = stop
+	f.rebalanceDone = done
+	f.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n, err := f.Rebalance(r); err == nil && n > 0 {
+					f.rebalanceMoves.Add(int64(n))
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// StopAutoRebalance halts the loop (idempotent).
+func (f *Federation) StopAutoRebalance() {
+	f.mu.Lock()
+	stop, done := f.rebalanceStop, f.rebalanceDone
+	f.rebalanceStop = nil
+	f.rebalanceDone = nil
+	f.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// AutoRebalanceMoves reports the total queries moved by the background
+// loop so far.
+func (f *Federation) AutoRebalanceMoves() int64 {
+	return f.rebalanceMoves.Value()
+}
+
+// Settle waits for in-flight control traffic (interest registrations) to
+// drain: on transports that support quiescence detection (SimNet) it
+// waits exactly as long as needed; on others (TCP) it sleeps briefly.
+// Call it after churn operations before relying on exact filtering.
+func (f *Federation) Settle(timeout time.Duration) {
+	type quiescer interface {
+		Quiesce(time.Duration) bool
+	}
+	if q, ok := f.transport.(quiescer); ok {
+		q.Quiesce(timeout)
+		return
+	}
+	sleep := timeout / 20
+	if sleep > 50*time.Millisecond {
+		sleep = 50 * time.Millisecond
+	}
+	time.Sleep(sleep)
+}
+
+func (f *Federation) streamNamesLocked() []string {
+	out := make([]string, 0, len(f.sources))
+	for s := range f.sources {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntityIDs returns the sorted entity IDs.
+func (f *Federation) EntityIDs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.entityIDsLocked()
+}
+
+// EntityLoad returns an entity's current engine load.
+func (f *Federation) EntityLoad(id string) float64 {
+	f.mu.Lock()
+	en, ok := f.entities[id]
+	f.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return en.ent.Load()
+}
+
+// QueryEntity reports which entity hosts a query.
+func (f *Federation) QueryEntity(id string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fq, ok := f.queries[id]
+	if !ok {
+		return "", false
+	}
+	return fq.entity, true
+}
+
+// NumQueries returns the number of active queries.
+func (f *Federation) NumQueries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queries)
+}
+
+// Ledger exposes the accounting ledger.
+func (f *Federation) Ledger() *Ledger { return f.ledger }
+
+// Coordinator exposes the coordinator tree (read-only use).
+func (f *Federation) Coordinator() *coordinator.Tree { return f.coord }
+
+// DisseminationTree returns the tree for a stream (nil before Start).
+func (f *Federation) DisseminationTree(streamName string) *dissemination.Tree {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if src, ok := f.sources[streamName]; ok {
+		return src.tree
+	}
+	return nil
+}
+
+// Close shuts everything down.
+func (f *Federation) Close() {
+	f.StopAutoRebalance()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	entities := f.entities
+	sources := f.sources
+	f.mu.Unlock()
+	for _, src := range sources {
+		if src.relay != nil {
+			_ = src.relay.Close()
+		}
+	}
+	for _, en := range entities {
+		for _, relay := range en.relays {
+			_ = relay.Close()
+		}
+		if en.hb != nil {
+			_ = en.hb.Close()
+		}
+		en.ent.Close()
+	}
+	if f.monitor != nil {
+		_ = f.monitor.Close()
+	}
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/dissemination"
+	"sspd/internal/engine"
+	"sspd/internal/querygraph"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+func miniFactory(name string, c *stream.Catalog) engine.Processor {
+	return engine.NewMini(name, c)
+}
+
+// newTestFederation builds a started federation: one quotes source,
+// nEntities entities on a line, synchronous engines.
+func newTestFederation(t *testing.T, nEntities int) (*Federation, *simnet.SimNet) {
+	t.Helper()
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	catalog := workload.Catalog(100, 20)
+	fed, err := New(net, catalog, Options{Strategy: dissemination.Locality, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddSource("trades", simnet.Point{X: 5}, StreamRate{TuplesPerSec: 500, BytesPerTuple: 40}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nEntities; i++ {
+		id := fmt.Sprintf("e%02d", i)
+		if err := fed.AddEntity(id, simnet.Point{X: float64(10 + i*10)}, 2, miniFactory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return fed, net
+}
+
+func priceQuery(id string, lo, hi float64, symbols ...string) engine.QuerySpec {
+	spec := engine.QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: lo, Hi: hi, Cost: 1},
+		},
+		Load: 5,
+	}
+	if len(symbols) > 0 {
+		spec.Filters = append(spec.Filters,
+			engine.FilterSpec{KeyField: "symbol", Keys: symbols, Cost: 1})
+	}
+	return spec
+}
+
+func TestFederationLifecycleErrors(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	catalog := workload.Catalog(10, 10)
+	if _, err := New(nil, catalog, Options{}); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := New(net, nil, Options{}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	fed, err := New(net, catalog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.Start(); err == nil {
+		t.Error("start without sources accepted")
+	}
+	if err := fed.AddSource("nostream", simnet.Point{}, StreamRate{}); err == nil {
+		t.Error("unknown stream source accepted")
+	}
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{}); err == nil {
+		t.Error("duplicate source accepted")
+	}
+	if err := fed.Start(); err == nil {
+		t.Error("start without entities accepted")
+	}
+	if err := fed.AddEntity("e1", simnet.Point{}, 1, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddEntity("e1", simnet.Point{}, 1, miniFactory); err == nil {
+		t.Error("duplicate entity accepted")
+	}
+	if err := fed.Publish("quotes", nil); err == nil {
+		t.Error("publish before start accepted")
+	}
+	if _, err := fed.SubmitQuery(priceQuery("q", 0, 1), simnet.Point{}, nil); err == nil {
+		t.Error("submit before start accepted")
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	if err := fed.AddSource("trades", simnet.Point{}, StreamRate{}); err == nil {
+		t.Error("source after start accepted")
+	}
+	if err := fed.AddEntity("e2", simnet.Point{}, 1, miniFactory); err == nil {
+		t.Error("entity after start accepted")
+	}
+}
+
+func TestFederationEndToEnd(t *testing.T) {
+	fed, net := newTestFederation(t, 4)
+	var mu sync.Mutex
+	results := 0
+	entityID, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{X: 15},
+		func(stream.Tuple) { mu.Lock(); results++; mu.Unlock() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entityID == "" {
+		t.Fatal("no entity chosen")
+	}
+	if got, ok := fed.QueryEntity("q1"); !ok || got != entityID {
+		t.Errorf("QueryEntity = %s/%v", got, ok)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after submit")
+	}
+	tick := workload.NewTicker(1, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(50)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after publish")
+	}
+	mu.Lock()
+	got := results
+	mu.Unlock()
+	if got != 50 {
+		t.Errorf("results = %d, want 50 (unbounded price filter)", got)
+	}
+	if fed.NumQueries() != 1 {
+		t.Errorf("queries = %d", fed.NumQueries())
+	}
+	// Charges accrue to the hosting entity.
+	if fed.Ledger().Charge(entityID) <= 0 {
+		t.Error("no charge accrued")
+	}
+}
+
+func TestFederationEarlyFilteringAcrossLayers(t *testing.T) {
+	fed, net := newTestFederation(t, 4)
+	// A very narrow query: interest registration should suppress most
+	// tuples near the source.
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 10, "S0000"), simnet.Point{X: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	net.Traffic().Reset()
+	tick := workload.NewTicker(2, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(200)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	narrow := net.Traffic().TotalBytes()
+
+	// Same workload with a match-everything query added: much more
+	// traffic flows.
+	if _, err := fed.SubmitQuery(priceQuery("q2", 0, 1000), simnet.Point{X: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	net.Traffic().Reset()
+	tick2 := workload.NewTicker(2, 100, 1.2)
+	if err := fed.Publish("quotes", tick2.Batch(200)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	wide := net.Traffic().TotalBytes()
+	if narrow*2 >= wide {
+		t.Errorf("early filtering ineffective: narrow=%d wide=%d", narrow, wide)
+	}
+}
+
+func TestFederationRemoveQuery(t *testing.T) {
+	fed, net := newTestFederation(t, 2)
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.RemoveQuery("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.RemoveQuery("q1"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if fed.NumQueries() != 0 {
+		t.Error("query count after removal")
+	}
+	_ = net
+}
+
+func TestFederationDuplicateSubmit(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1), simnet.Point{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1), simnet.Point{}, nil); err == nil {
+		t.Error("duplicate submit accepted")
+	}
+	if err := fed.SubmitQueryTo(priceQuery("q1", 0, 1), "e00", nil); err == nil {
+		t.Error("duplicate SubmitQueryTo accepted")
+	}
+	if err := fed.SubmitQueryTo(priceQuery("q2", 0, 1), "nope", nil); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+func TestFederationMigration(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	var mu sync.Mutex
+	results := 0
+	entityID, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{},
+		func(stream.Tuple) { mu.Lock(); results++; mu.Unlock() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ""
+	for _, id := range fed.EntityIDs() {
+		if id != entityID {
+			target = id
+			break
+		}
+	}
+	if err := fed.MigrateQuery("q1", target); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fed.QueryEntity("q1"); got != target {
+		t.Fatalf("query on %s, want %s", got, target)
+	}
+	// Self-migration is a no-op; unknowns error.
+	if err := fed.MigrateQuery("q1", target); err != nil {
+		t.Error("self migration errored")
+	}
+	if err := fed.MigrateQuery("zz", target); err == nil {
+		t.Error("unknown query migration accepted")
+	}
+	if err := fed.MigrateQuery("q1", "zz"); err == nil {
+		t.Error("unknown target migration accepted")
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	// The migrated query still produces results.
+	tick := workload.NewTicker(3, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	mu.Lock()
+	got := results
+	mu.Unlock()
+	if got != 20 {
+		t.Errorf("post-migration results = %d, want 20", got)
+	}
+}
+
+func TestFederationQueryGraphAndRebalance(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	// Three co-interested queries piled onto one entity, three unrelated
+	// ones also there: rebalancing should spread them with a low cut.
+	syms := []string{"S0001", "S0002"}
+	for i := 0; i < 3; i++ {
+		if err := fed.SubmitQueryTo(priceQuery(fmt.Sprintf("hot%d", i), 0, 500, syms...), "e00", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		sym := fmt.Sprintf("S00%d0", i+1)
+		if err := fed.SubmitQueryTo(priceQuery(fmt.Sprintf("cold%d", i), 600, 900, sym), "e00", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := fed.QueryGraph(0)
+	if g.NumVertices() != 6 {
+		t.Fatalf("graph vertices = %d", g.NumVertices())
+	}
+	// Co-interested queries share edges.
+	if g.EdgeWeight("hot0", "hot1") <= 0 {
+		t.Error("no edge between co-interested queries")
+	}
+	old, ids := fed.Assignment()
+	if len(ids) != 3 || len(old) != 6 {
+		t.Fatalf("assignment = %v over %v", old, ids)
+	}
+	moved, err := fed.Rebalance(querygraph.HybridRepartitioner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("rebalance moved nothing off the overloaded entity")
+	}
+	// Load spread: e00 no longer hosts everything.
+	now, _ := fed.Assignment()
+	onE00 := 0
+	for _, p := range now {
+		if p == 0 {
+			onE00++
+		}
+	}
+	if onE00 == 6 {
+		t.Error("all queries still on e00")
+	}
+	// Hot queries should stay together (their edges dominate).
+	if now["hot0"] != now["hot1"] || now["hot1"] != now["hot2"] {
+		t.Logf("hot queries split: %v (acceptable but suboptimal)", now)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+}
+
+func TestFederationWithHeterogeneousEngines(t *testing.T) {
+	// Half the entities run the full engine, half the mini engine — the
+	// loose coupling means the federation cannot tell the difference.
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	catalog := workload.Catalog(50, 10)
+	fed, err := New(net, catalog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 100, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddEntity("full", simnet.Point{X: 10}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddEntity("mini", simnet.Point{X: 20}, 1, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	for i, target := range []string{"full", "mini"} {
+		id := fmt.Sprintf("q%d", i)
+		tid := target
+		if err := fed.SubmitQueryTo(priceQuery(id, 0, 1000), tid,
+			func(stream.Tuple) { mu.Lock(); counts[tid]++; mu.Unlock() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(9, 50, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(30)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	// The async engine needs a moment to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		f, m := counts["full"], counts["mini"]
+		mu.Unlock()
+		if f == 30 && m == 30 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counts = full:%d mini:%d, want 30/30", f, m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewLedger(func() time.Time { return now })
+	if err := l.Start("q1", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start("q1", "e1"); err == nil {
+		t.Error("double start accepted")
+	}
+	now = now.Add(10 * time.Second)
+	if got := l.Charge("e1"); got != 10*time.Second {
+		t.Errorf("in-flight charge = %v", got)
+	}
+	if err := l.Move("q1", "e2"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(5 * time.Second)
+	if err := l.Stop("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stop("q1"); err == nil {
+		t.Error("double stop accepted")
+	}
+	if err := l.Move("q1", "e3"); err == nil {
+		t.Error("move of stopped query accepted")
+	}
+	if got := l.Charge("e1"); got != 10*time.Second {
+		t.Errorf("e1 charge = %v", got)
+	}
+	if got := l.Charge("e2"); got != 5*time.Second {
+		t.Errorf("e2 charge = %v", got)
+	}
+	charges := l.Charges()
+	if len(charges) != 2 || charges[0].Entity != "e1" || charges[1].Entity != "e2" {
+		t.Errorf("charges = %v", charges)
+	}
+	if l.ActiveQueries() != 0 {
+		t.Error("active count")
+	}
+}
+
+func TestBuildQueryGraphEdges(t *testing.T) {
+	catalog := workload.Catalog(100, 10)
+	rates := map[string]StreamRate{"quotes": {TuplesPerSec: 1000, BytesPerTuple: 100}}
+	// Two overlapping queries and one disjoint.
+	specs := []engine.QuerySpec{
+		priceQuery("a", 0, 100),
+		priceQuery("b", 50, 150),
+		priceQuery("c", 500, 600),
+	}
+	g := BuildQueryGraph(specs, catalog, rates, 0)
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Overlap [50,100] = 5% of domain × 100 KB/s = 5000 B/s.
+	if got := g.EdgeWeight("a", "b"); got != 5000 {
+		t.Errorf("edge a-b = %v, want 5000", got)
+	}
+	if got := g.EdgeWeight("a", "c"); got != 0 {
+		t.Errorf("edge a-c = %v, want 0", got)
+	}
+	// Rates missing => no edges.
+	g2 := BuildQueryGraph(specs, catalog, nil, 0)
+	if g2.EdgeWeight("a", "b") != 0 {
+		t.Error("edge without rate info")
+	}
+	if StreamRate(rates["quotes"]).BytesPerSec() != 100000 {
+		t.Error("BytesPerSec")
+	}
+}
+
+func TestFederationDisseminationTreeExposed(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	tr := fed.DisseminationTree("quotes")
+	if tr == nil {
+		t.Fatal("no tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.DisseminationTree("nostream") != nil {
+		t.Error("tree for unknown stream")
+	}
+	root, h := fed.Coordinator().Root()
+	if root == "" || h < 1 {
+		t.Error("coordinator tree empty")
+	}
+	if fed.EntityLoad("nope") != 0 {
+		t.Error("load of unknown entity")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sspd/internal/engine"
+	"sspd/internal/querygraph"
+	"sspd/internal/stream"
+)
+
+// StreamRate is the nominal data rate of one stream, used to weight
+// query-graph edges in bytes/second as the paper specifies.
+type StreamRate struct {
+	// TuplesPerSec is the stream's arrival rate.
+	TuplesPerSec float64
+	// BytesPerTuple is the average encoded tuple size.
+	BytesPerTuple float64
+}
+
+// BytesPerSec returns the stream's byte rate.
+func (r StreamRate) BytesPerSec() float64 { return r.TuplesPerSec * r.BytesPerTuple }
+
+// BuildQueryGraph constructs the weighted query graph of Section 3.2.2
+// from query specs: vertices weighted by estimated load, edges weighted
+// by the byte rate of data interesting to both endpoints (stream rate ×
+// interest-overlap fraction, summed over shared streams). Edges below
+// minEdge are dropped to keep the graph sparse.
+func BuildQueryGraph(specs []engine.QuerySpec, catalog *stream.Catalog,
+	rates map[string]StreamRate, minEdge float64) *querygraph.Graph {
+	g := querygraph.New()
+	type interestOn struct {
+		spec     engine.QuerySpec
+		interest map[string]stream.Interest
+	}
+	items := make([]interestOn, 0, len(specs))
+	for _, spec := range specs {
+		g.AddVertex(querygraph.VertexID(spec.ID), spec.EstimatedLoad())
+		in := make(map[string]stream.Interest)
+		for _, s := range spec.Streams() {
+			if sc, ok := catalog.Lookup(s); ok {
+				in[s] = spec.Interest(s, sc)
+			}
+		}
+		items = append(items, interestOn{spec: spec, interest: in})
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			w := 0.0
+			for s, ia := range items[i].interest {
+				ib, ok := items[j].interest[s]
+				if !ok {
+					continue
+				}
+				sc, ok := catalog.Lookup(s)
+				if !ok {
+					continue
+				}
+				rate, ok := rates[s]
+				if !ok {
+					continue
+				}
+				w += rate.BytesPerSec() * stream.Overlap(ia, ib, sc)
+			}
+			if w > minEdge {
+				// Both vertices exist; SetEdge cannot fail here.
+				_ = g.SetEdge(querygraph.VertexID(items[i].spec.ID),
+					querygraph.VertexID(items[j].spec.ID), w)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sspd/internal/engine"
+	"sspd/internal/simnet"
+)
+
+// QuerySnapshot is one exported query: the declarative spec plus its
+// hosting entity at export time. Because specs are self-contained, a
+// snapshot plus the live streams is enough to rebuild the workload on
+// any federation with the same global schema — the recovery story that
+// loose coupling buys.
+type QuerySnapshot struct {
+	Spec   json.RawMessage `json:"spec"`
+	Entity string          `json:"entity"`
+}
+
+// ExportQueries serializes every active query.
+func (f *Federation) ExportQueries() ([]byte, error) {
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]QuerySnapshot, 0, len(ids))
+	for _, id := range ids {
+		fq := f.queries[id]
+		raw, err := json.Marshal(fq.spec)
+		if err != nil {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("core: export %s: %w", id, err)
+		}
+		out = append(out, QuerySnapshot{Spec: raw, Entity: fq.entity})
+	}
+	f.mu.Unlock()
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportQueries re-submits exported queries that are not already active.
+// Each query goes to its snapshotted entity when that entity still
+// exists, otherwise through the coordinator tree from origin. Result
+// callbacks are not restored — clients re-subscribe. It returns the
+// number of queries added.
+func (f *Federation) ImportQueries(data []byte, origin simnet.Point) (int, error) {
+	var snaps []QuerySnapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		return 0, fmt.Errorf("core: bad snapshot: %w", err)
+	}
+	added := 0
+	for i, snap := range snaps {
+		var spec engine.QuerySpec
+		if err := json.Unmarshal(snap.Spec, &spec); err != nil {
+			return added, fmt.Errorf("core: snapshot entry %d: %w", i, err)
+		}
+		f.mu.Lock()
+		_, active := f.queries[spec.ID]
+		_, entityExists := f.entities[snap.Entity]
+		f.mu.Unlock()
+		if active {
+			continue
+		}
+		var err error
+		if entityExists {
+			err = f.SubmitQueryTo(spec, snap.Entity, nil)
+		} else {
+			_, err = f.SubmitQuery(spec, origin, nil)
+		}
+		if err != nil {
+			return added, fmt.Errorf("core: snapshot entry %d (%s): %w", i, spec.ID, err)
+		}
+		added++
+	}
+	return added, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+	"sspd/internal/workload"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	for i, q := range []string{"qa", "qb", "qc"} {
+		if _, err := fed.SubmitQuery(priceQuery(q, float64(i*100), float64(i*100+200)),
+			simnet.Point{X: float64(10 + i*10)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := fed.ExportQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "qa") {
+		t.Fatalf("snapshot missing query: %s", data)
+	}
+	// Importing into the same federation is a no-op (all active).
+	added, err := fed.ImportQueries(data, simnet.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("re-import added %d", added)
+	}
+	// A fresh federation rebuilds the workload from the snapshot.
+	fed2, net2 := newTestFederation(t, 3)
+	added, err = fed2.ImportQueries(data, simnet.Point{X: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("import added %d, want 3", added)
+	}
+	// Snapshotted placements are honored (same entity IDs exist).
+	for _, q := range []string{"qa", "qb", "qc"} {
+		orig, _ := fed.QueryEntity(q)
+		got, ok := fed2.QueryEntity(q)
+		if !ok || got != orig {
+			t.Errorf("%s on %s, want %s", q, got, orig)
+		}
+	}
+	// And they process data.
+	if !net2.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	tick := workload.NewTicker(2, 100, 1.2)
+	if err := fed2.Publish("quotes", tick.Batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !net2.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	_ = net
+}
+
+func TestImportAfterEntityLoss(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 500), simnet.Point{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fed.ExportQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Import into a federation whose entities have different names: the
+	// coordinator tree places the query instead.
+	net2 := simnet.NewSim(nil)
+	t.Cleanup(func() { net2.Close() })
+	catalog := workload.Catalog(100, 20)
+	fed2, err := New(net2, catalog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed2.Close)
+	if err := fed2.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 100, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed2.AddSource("trades", simnet.Point{X: 3}, StreamRate{TuplesPerSec: 100, BytesPerTuple: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed2.AddEntity("other", simnet.Point{X: 30}, 1, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	added, err := fed2.ImportQueries(data, simnet.Point{X: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d", added)
+	}
+	if host, ok := fed2.QueryEntity("q1"); !ok || host != "other" {
+		t.Fatalf("q1 on %s/%v", host, ok)
+	}
+}
+
+func TestImportBadData(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	if _, err := fed.ImportQueries([]byte("{"), simnet.Point{}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+	if _, err := fed.ImportQueries([]byte(`[{"spec": {"ID":""}, "entity": "e00"}]`), simnet.Point{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

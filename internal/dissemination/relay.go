@@ -1,0 +1,301 @@
+package dissemination
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspd/internal/metrics"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+// Message kinds used on the transport.
+const (
+	// KindTuples carries a binary-encoded stream.Batch down the tree.
+	KindTuples = "diss.tuples"
+	// KindInterest carries a JSON interest registration up the tree.
+	KindInterest = "diss.interest"
+)
+
+// DefaultMaxInterestTerms bounds the size of the aggregated interest a
+// node registers with its parent; beyond it terms are covered (widened),
+// trading filter precision for registration size.
+const DefaultMaxInterestTerms = 16
+
+// Relay is one node of a dissemination tree at runtime: it receives the
+// stream from its parent, delivers locally interesting tuples to its
+// entity, and relays to each child only what that child's registered
+// interest matches (early filtering). The node at the tree's source
+// publishes instead of receiving.
+type Relay struct {
+	self      simnet.NodeID
+	tree      *Tree
+	schema    *stream.Schema
+	transport simnet.Transport
+	deliver   func(stream.Tuple)
+	maxTerms  int
+
+	mu        sync.Mutex
+	local     *stream.InterestSet
+	childSets map[simnet.NodeID]*stream.InterestSet
+	// regMu serializes upward registrations: it is held across
+	// aggregate computation AND the send, so a registration computed
+	// from newer state can never be overtaken on the wire by one
+	// computed from older state (which would leave the parent holding
+	// a stale, narrower filter and silently drop tuples).
+	regMu sync.Mutex
+
+	// Delivered counts tuples handed to the local entity; Relayed
+	// counts tuples forwarded downstream; Suppressed counts tuples
+	// early filtering kept off a child link.
+	Delivered  metrics.Counter
+	Relayed    metrics.Counter
+	Suppressed metrics.Counter
+}
+
+// NewRelay attaches a relay for `self` to the transport. deliver may be
+// nil for pure relays (and for the source). maxTerms <= 0 uses
+// DefaultMaxInterestTerms.
+func NewRelay(tree *Tree, self simnet.NodeID, schema *stream.Schema,
+	transport simnet.Transport, deliver func(stream.Tuple), maxTerms int) (*Relay, error) {
+	if tree == nil || schema == nil || transport == nil {
+		return nil, fmt.Errorf("dissemination: relay %q needs tree, schema, and transport", self)
+	}
+	if self != tree.Source() && !tree.Has(self) {
+		return nil, fmt.Errorf("dissemination: %q is not in the %s tree", self, tree.Stream())
+	}
+	if maxTerms <= 0 {
+		maxTerms = DefaultMaxInterestTerms
+	}
+	r := &Relay{
+		self:      self,
+		tree:      tree,
+		schema:    schema,
+		transport: transport,
+		deliver:   deliver,
+		maxTerms:  maxTerms,
+		local:     stream.NewInterestSet(tree.Stream()),
+		childSets: make(map[simnet.NodeID]*stream.InterestSet),
+	}
+	if err := transport.Register(self, r.handle); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ID returns the relay's transport endpoint.
+func (r *Relay) ID() simnet.NodeID { return r.self }
+
+// SetLocalInterest replaces the entity's own data interest (the union of
+// its allocated queries' interests) and re-registers the aggregate with
+// the parent.
+func (r *Relay) SetLocalInterest(terms []stream.Interest) error {
+	r.mu.Lock()
+	set := stream.NewInterestSet(r.tree.Stream())
+	for _, in := range terms {
+		set.Add(in)
+	}
+	r.local = set
+	r.mu.Unlock()
+	return r.registerUpward()
+}
+
+// aggregate returns the union of local and child interests, simplified.
+func (r *Relay) aggregate() *stream.InterestSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := r.local.Clone()
+	ids := make([]simnet.NodeID, 0, len(r.childSets))
+	for id := range r.childSets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, term := range r.childSets[id].Terms {
+			agg.Add(term)
+		}
+	}
+	agg.Simplify(r.schema, r.maxTerms)
+	return agg
+}
+
+// registerUpward sends the node's aggregate interest to its parent. The
+// source has no parent; registration stops there.
+func (r *Relay) registerUpward() error {
+	if r.self == r.tree.Source() {
+		return nil
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	payload, err := encodeInterestSet(r.aggregate())
+	if err != nil {
+		return err
+	}
+	return r.transport.Send(r.self, r.tree.Parent(r.self), KindInterest, payload)
+}
+
+// Refresh re-registers the relay's aggregate interest with its current
+// parent. The federation calls it on every relay rewired by a dynamic
+// tree operation (AddMember, RemoveMember, Reorganize).
+func (r *Relay) Refresh() error { return r.registerUpward() }
+
+// PreRegister sends the relay's aggregate interest to an arbitrary node
+// — the make-before-break half of a rewire: registering with the future
+// parent BEFORE the tree edge flips makes the new path's ancestors widen
+// their filters in advance, so no tuple addressed to this subtree is
+// dropped during the switch. (The future parent stores the registration
+// like any child's; until the flip it only widens its aggregate, which
+// is always safe.)
+func (r *Relay) PreRegister(target simnet.NodeID) error {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	payload, err := encodeInterestSet(r.aggregate())
+	if err != nil {
+		return err
+	}
+	return r.transport.Send(r.self, target, KindInterest, payload)
+}
+
+// DropChild discards a former child's registered interest, e.g. after
+// the tree rewired that child elsewhere.
+func (r *Relay) DropChild(id simnet.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.childSets, id)
+}
+
+// Publish injects a batch at the source and disseminates it. Only the
+// source relay may publish.
+func (r *Relay) Publish(batch stream.Batch) error {
+	if r.self != r.tree.Source() {
+		return fmt.Errorf("dissemination: %q is not the source of %s", r.self, r.tree.Stream())
+	}
+	r.disseminate(batch)
+	return nil
+}
+
+// handle is the transport callback.
+func (r *Relay) handle(m simnet.Message) {
+	switch m.Kind {
+	case KindTuples:
+		batch, _, err := stream.DecodeBatch(m.Payload)
+		if err != nil {
+			return // corrupt payload; drop
+		}
+		r.disseminate(batch)
+	case KindInterest:
+		set, err := decodeInterestSet(m.Payload, r.tree.Stream())
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.childSets[m.From] = set
+		r.mu.Unlock()
+		// Propagate the updated aggregate toward the source.
+		_ = r.registerUpward()
+	}
+}
+
+// disseminate delivers locally and relays per-child filtered sub-batches.
+func (r *Relay) disseminate(batch stream.Batch) {
+	r.mu.Lock()
+	local := r.local
+	children := r.tree.Children(r.self)
+	sets := make(map[simnet.NodeID]*stream.InterestSet, len(children))
+	for _, c := range children {
+		sets[c] = r.childSets[c]
+	}
+	r.mu.Unlock()
+
+	if r.deliver != nil && !local.Empty() {
+		for _, t := range batch {
+			if local.Matches(r.schema, t) {
+				r.Delivered.Inc()
+				r.deliver(t)
+			}
+		}
+	}
+	for _, c := range children {
+		set := sets[c]
+		var sub stream.Batch
+		if set == nil {
+			// No registration yet: forward everything (safe).
+			sub = batch
+		} else {
+			for _, t := range batch {
+				if set.Matches(r.schema, t) {
+					sub = append(sub, t)
+				}
+			}
+		}
+		r.Suppressed.Add(int64(len(batch) - len(sub)))
+		if len(sub) == 0 {
+			continue
+		}
+		r.Relayed.Add(int64(len(sub)))
+		_ = r.transport.Send(r.self, c, KindTuples, stream.AppendBatch(nil, sub))
+	}
+}
+
+// Close deregisters the relay from the transport.
+func (r *Relay) Close() error {
+	return r.transport.Deregister(r.self)
+}
+
+// wireInterest is the JSON form of one interest term.
+type wireInterest struct {
+	Ranges map[string]stream.Range `json:"ranges,omitempty"`
+	Keys   map[string][]string     `json:"keys,omitempty"`
+}
+
+type wireInterestSet struct {
+	Stream string         `json:"stream"`
+	Terms  []wireInterest `json:"terms"`
+}
+
+func encodeInterestSet(set *stream.InterestSet) ([]byte, error) {
+	w := wireInterestSet{Stream: set.Stream}
+	for _, term := range set.Terms {
+		wi := wireInterest{}
+		if len(term.Ranges) > 0 {
+			wi.Ranges = term.Ranges
+		}
+		if len(term.Keys) > 0 {
+			wi.Keys = make(map[string][]string, len(term.Keys))
+			for f, ks := range term.Keys {
+				list := make([]string, 0, len(ks))
+				for k := range ks {
+					list = append(list, k)
+				}
+				sort.Strings(list)
+				wi.Keys[f] = list
+			}
+		}
+		w.Terms = append(w.Terms, wi)
+	}
+	return json.Marshal(w)
+}
+
+func decodeInterestSet(payload []byte, wantStream string) (*stream.InterestSet, error) {
+	var w wireInterestSet
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return nil, err
+	}
+	if w.Stream != wantStream {
+		return nil, fmt.Errorf("dissemination: interest for %q on %q tree", w.Stream, wantStream)
+	}
+	set := stream.NewInterestSet(w.Stream)
+	for _, wi := range w.Terms {
+		in := stream.NewInterest(w.Stream)
+		for f, rg := range wi.Ranges {
+			in = in.WithRange(f, rg.Lo, rg.Hi)
+		}
+		for f, ks := range wi.Keys {
+			in = in.WithKeys(f, ks...)
+		}
+		set.Add(in)
+	}
+	return set, nil
+}

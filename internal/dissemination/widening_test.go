@@ -1,0 +1,75 @@
+package dissemination
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+// TestAggregationCapNeverLosesTuples pins the safety property of
+// interest aggregation: however hard the per-node term cap widens the
+// registered filters, every locally-interesting tuple still arrives.
+func TestAggregationCapNeverLosesTuples(t *testing.T) {
+	run := func(maxTerms int) int64 {
+		net := simnet.NewSim(nil)
+		defer net.Close()
+		sc := quotesSchema()
+		var members []Member
+		for i := 0; i < 12; i++ {
+			members = append(members, Member{ID: simnet.NodeID(fmt.Sprintf("e%03d", i)),
+				Pos: simnet.Point{X: float64(i * 7), Y: float64(i * 3)}})
+		}
+		tree, err := Build("quotes", Member{ID: "src"}, members, Balanced, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source, err := NewRelay(tree, "src", sc, net, nil, maxTerms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var delivered atomic.Int64
+		var relays []*Relay
+		for _, m := range members {
+			r, err := NewRelay(tree, m.ID, sc, net, func(stream.Tuple) { delivered.Add(1) }, maxTerms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relays = append(relays, r)
+		}
+		for i, relay := range relays {
+			var terms []stream.Interest
+			for j := 0; j < 8; j++ {
+				lo := float64(((i*8+j)*83)%996) + 0.1
+				terms = append(terms, stream.NewInterest("quotes").WithRange("price", lo, lo+4))
+			}
+			if err := relay.SetLocalInterest(terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !net.Quiesce(30 * time.Second) {
+			t.Fatal("quiesce")
+		}
+		var batch stream.Batch
+		for i := 0; i < 400; i++ {
+			batch = append(batch, stream.NewTuple("quotes", uint64(i), time.Unix(int64(i), 0).UTC(),
+				stream.String("S"), stream.Float(float64(i*3%1000))))
+		}
+		if err := source.Publish(batch); err != nil {
+			t.Fatal(err)
+		}
+		if !net.Quiesce(30 * time.Second) {
+			t.Fatal("quiesce")
+		}
+		return delivered.Load()
+	}
+	want := run(1 << 20) // effectively uncapped: precise filters
+	for _, cap := range []int{1, 2, 4, 16, 128} {
+		if got := run(cap); got != want {
+			t.Errorf("cap=%d delivered %d, want %d", cap, got, want)
+		}
+	}
+}

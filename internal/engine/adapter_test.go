@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// shiftSpec has two filters whose useful order flips with the workload.
+func shiftSpec(id string) QuerySpec {
+	return QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 1000, Cost: 1}, // useless
+			{Field: "volume", Lo: 0, Hi: 100, Cost: 1}, // selective
+		},
+	}
+}
+
+func TestMiniEngineAdaptOrdering(t *testing.T) {
+	e := NewMini("m", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(shiftSpec("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Feed a workload where the second filter is the selective one.
+	for i := 0; i < 300; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 500, 500)) // volume filter rejects
+	}
+	if n := e.AdaptOrdering(0); n != 1 {
+		t.Fatalf("adapted %d queries, want 1", n)
+	}
+	// Second sweep: already optimal, nothing to do.
+	if n := e.AdaptOrdering(0); n != 0 {
+		t.Fatalf("re-adapted %d queries, want 0", n)
+	}
+}
+
+func TestSchedEngineAdaptOrdering(t *testing.T) {
+	e := NewSched("s", testCatalog(t), PolicyFIFO)
+	defer e.Close()
+	if err := e.Register(shiftSpec("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 500, 500))
+	}
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	if n := e.AdaptOrdering(0); n != 1 {
+		t.Fatalf("adapted %d, want 1", n)
+	}
+}
+
+func TestEngineAdaptOrderingAsync(t *testing.T) {
+	e := New("e", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(shiftSpec("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 500, 500))
+	}
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	if n := e.AdaptOrdering(0); n != 1 {
+		t.Fatalf("requested %d adaptations, want 1", n)
+	}
+	// The control item applies on the query goroutine; wait for it.
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	q, _ := e.Query("q")
+	sels := q.FilterSelectivities()
+	if len(sels) != 2 || sels[0] > sels[1] {
+		t.Fatalf("selective filter not first after adaptation: %v", sels)
+	}
+	// Processing keeps working after the reorder.
+	var got int
+	e2 := New("e2", testCatalog(t))
+	defer e2.Close()
+	_ = e2
+	e.Ingest(quote(999, "ibm", 500, 5)) // passes both filters
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	m, _ := e.Metrics("q")
+	if m.Results != 1 {
+		t.Fatalf("results after adapt = %d, want 1", m.Results)
+	}
+	_ = got
+}
+
+func TestAdaptOrderingNoFilters(t *testing.T) {
+	e := NewMini("m", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(QuerySpec{ID: "q", Source: "quotes"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.AdaptOrdering(0); n != 0 {
+		t.Fatalf("filterless query adapted: %d", n)
+	}
+}

@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspd/internal/metrics"
+	"sspd/internal/stream"
+)
+
+// Processor is the interface every per-entity processing engine
+// implements. The inter-entity layer depends only on this interface plus
+// QuerySpec — the embodiment of the paper's loose coupling: an entity can
+// swap or upgrade its engine without any other entity noticing.
+type Processor interface {
+	// EngineName identifies the engine implementation.
+	EngineName() string
+	// Register compiles and starts a query; emit receives its results.
+	Register(spec QuerySpec, emit func(stream.Tuple)) error
+	// Unregister stops and removes a query, returning its spec so the
+	// caller can re-register it elsewhere (query-level migration).
+	Unregister(id string) (QuerySpec, error)
+	// Ingest delivers one tuple to every registered query that
+	// consumes its stream.
+	Ingest(t stream.Tuple)
+	// QueryIDs lists the registered queries.
+	QueryIDs() []string
+	// Load reports the engine's current abstract load estimate.
+	Load() float64
+	// Close stops all queries and releases resources.
+	Close()
+}
+
+// DirectFeeder is the optional capability of delivering a tuple to one
+// specific query. Engines that support it can host chained query
+// fragments (the intra-entity placement scheme needs addressed
+// delivery); both Engine and MiniEngine implement it.
+type DirectFeeder interface {
+	FeedQuery(id string, t stream.Tuple) error
+}
+
+// QueryMetrics summarizes one query's measured performance inside an
+// Engine: d (total delay), p (processing time), and the paper's
+// Performance Ratio PR = d/p.
+type QueryMetrics struct {
+	ID         string
+	Results    int64
+	Delay      metrics.Snapshot
+	Processing metrics.Snapshot
+	// PR is mean delay over mean processing time (Section 4.1).
+	PR float64
+}
+
+// Engine is the full asynchronous engine: each query runs on its own
+// goroutine behind a buffered input queue, so queue wait time is a real
+// component of result delay, exactly as in the paper's delay model
+// d = processing + waiting + transfer.
+type Engine struct {
+	name    string
+	catalog *stream.Catalog
+
+	mu      sync.RWMutex
+	queries map[string]*runningQuery
+	byInput map[string][]*runningQuery
+	closed  bool
+}
+
+type runningQuery struct {
+	q       *Query
+	in      chan feedItem
+	done    chan struct{}
+	results metrics.Counter
+	delay   metrics.Histogram
+	proc    metrics.Histogram
+	dropped metrics.Counter
+	// pending counts items from enqueue until their processing
+	// returns, so Drain observes true idleness (an empty queue with a
+	// handler mid-item is not idle).
+	pending atomic.Int64
+}
+
+// enqueue submits an item, keeping the pending count accurate; a full
+// queue drops and counts.
+func (rq *runningQuery) enqueue(item feedItem) bool {
+	rq.pending.Add(1)
+	select {
+	case rq.in <- item:
+		return true
+	default:
+		rq.pending.Add(-1)
+		rq.dropped.Inc()
+		return false
+	}
+}
+
+type feedItem struct {
+	streamName string
+	t          stream.Tuple
+	arrived    time.Time
+	// adaptGain > 0 marks a control item: instead of feeding a tuple,
+	// the query goroutine re-evaluates its operator ordering.
+	adaptGain float64
+}
+
+// queueDepth bounds each query's input queue. Overflow drops tuples (and
+// counts them) rather than blocking the ingest path — head-of-line
+// blocking across queries would corrupt the delay measurements the
+// placement scheme depends on.
+const queueDepth = 1024
+
+// New returns an Engine reading schemas from catalog.
+func New(name string, catalog *stream.Catalog) *Engine {
+	return &Engine{
+		name:    name,
+		catalog: catalog,
+		queries: make(map[string]*runningQuery),
+		byInput: make(map[string][]*runningQuery),
+	}
+}
+
+// EngineName implements Processor.
+func (e *Engine) EngineName() string { return e.name }
+
+// Register implements Processor.
+func (e *Engine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine %s: closed", e.name)
+	}
+	if _, dup := e.queries[spec.ID]; dup {
+		return fmt.Errorf("engine %s: query %s already registered", e.name, spec.ID)
+	}
+	rq := &runningQuery{
+		in:   make(chan feedItem, queueDepth),
+		done: make(chan struct{}),
+	}
+	q, err := Compile(spec, e.catalog, func(t stream.Tuple) {
+		rq.results.Inc()
+		if emit != nil {
+			emit(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rq.q = q
+	e.queries[spec.ID] = rq
+	for _, s := range spec.Streams() {
+		e.byInput[s] = append(e.byInput[s], rq)
+	}
+	go rq.run()
+	return nil
+}
+
+func (rq *runningQuery) run() {
+	defer close(rq.done)
+	for item := range rq.in {
+		if item.adaptGain > 0 {
+			maybeReorder(rq.q, item.adaptGain)
+			rq.pending.Add(-1)
+			continue
+		}
+		start := time.Now()
+		rq.q.Feed(item.streamName, item.t)
+		end := time.Now()
+		rq.proc.Observe(end.Sub(start).Seconds())
+		rq.delay.Observe(end.Sub(item.arrived).Seconds())
+		rq.pending.Add(-1)
+	}
+}
+
+// Unregister implements Processor.
+func (e *Engine) Unregister(id string) (QuerySpec, error) {
+	e.mu.Lock()
+	rq, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return QuerySpec{}, fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	delete(e.queries, id)
+	for _, s := range rq.q.Spec().Streams() {
+		e.byInput[s] = removeQuery(e.byInput[s], rq)
+		if len(e.byInput[s]) == 0 {
+			delete(e.byInput, s)
+		}
+	}
+	e.mu.Unlock()
+	close(rq.in)
+	<-rq.done
+	return rq.q.Spec(), nil
+}
+
+func removeQuery(list []*runningQuery, rq *runningQuery) []*runningQuery {
+	for i := range list {
+		if list[i] == rq {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Ingest implements Processor. It never blocks: a full query queue drops
+// the tuple for that query and counts the drop.
+func (e *Engine) Ingest(t stream.Tuple) {
+	e.mu.RLock()
+	targets := e.byInput[t.Stream]
+	if len(targets) == 0 {
+		e.mu.RUnlock()
+		return
+	}
+	// Copy under lock; sends happen outside it.
+	snapshot := make([]*runningQuery, len(targets))
+	copy(snapshot, targets)
+	e.mu.RUnlock()
+
+	item := feedItem{streamName: t.Stream, t: t, arrived: time.Now()}
+	for _, rq := range snapshot {
+		rq.enqueue(item)
+	}
+}
+
+// FeedQuery delivers a tuple to exactly one registered query, bypassing
+// stream-based routing. The intra-entity layer uses it to drive a query
+// fragment with its upstream fragment's output (which keeps the original
+// stream name). A full queue drops the tuple and counts it.
+func (e *Engine) FeedQuery(id string, t stream.Tuple) error {
+	e.mu.RLock()
+	rq, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	rq.enqueue(feedItem{streamName: t.Stream, t: t, arrived: time.Now()})
+	return nil
+}
+
+// QueryIDs implements Processor.
+func (e *Engine) QueryIDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load implements Processor: the sum of registered queries' estimated
+// loads plus current queue backlog pressure.
+func (e *Engine) Load() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	load := 0.0
+	for _, rq := range e.queries {
+		load += rq.q.Spec().EstimatedLoad()
+		load += float64(len(rq.in)) / queueDepth
+	}
+	return load
+}
+
+// Metrics returns the measured performance of one query. ok is false for
+// unknown IDs.
+func (e *Engine) Metrics(id string) (QueryMetrics, bool) {
+	e.mu.RLock()
+	rq, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return QueryMetrics{}, false
+	}
+	m := QueryMetrics{
+		ID:         id,
+		Results:    rq.results.Value(),
+		Delay:      rq.delay.Snapshot(),
+		Processing: rq.proc.Snapshot(),
+	}
+	if m.Processing.Mean > 0 {
+		m.PR = m.Delay.Mean / m.Processing.Mean
+	}
+	return m, true
+}
+
+// Dropped reports the number of tuples dropped by one query's full queue.
+func (e *Engine) Dropped(id string) int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if rq, ok := e.queries[id]; ok {
+		return rq.dropped.Value()
+	}
+	return 0
+}
+
+// Drain blocks until every query's input queue is empty and processed,
+// or the timeout elapses. Tests and benchmarks use it to observe
+// steady-state results.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		e.mu.RLock()
+		pending := int64(0)
+		for _, rq := range e.queries {
+			pending += rq.pending.Load()
+		}
+		e.mu.RUnlock()
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Query exposes the compiled query for adaptation hooks (the Adaptation
+// Module re-orders filters through it). The caller must not invoke Feed
+// concurrently with the engine; use Pause-style coordination in tests.
+func (e *Engine) Query(id string) (*Query, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rq, ok := e.queries[id]
+	if !ok {
+		return nil, false
+	}
+	return rq.q, true
+}
+
+// Close implements Processor.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	qs := make([]*runningQuery, 0, len(e.queries))
+	for _, rq := range e.queries {
+		qs = append(qs, rq)
+	}
+	e.queries = make(map[string]*runningQuery)
+	e.byInput = make(map[string][]*runningQuery)
+	e.mu.Unlock()
+	for _, rq := range qs {
+		close(rq.in)
+		<-rq.done
+	}
+}

@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/stream"
+)
+
+func simpleSpec(id string) QuerySpec {
+	return QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100},
+		},
+	}
+}
+
+func TestEngineRegisterIngest(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+
+	var mu sync.Mutex
+	var got []stream.Tuple
+	if err := e.Register(simpleSpec("q1"), func(t stream.Tuple) {
+		mu.Lock()
+		got = append(got, t)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.EngineName() != "test" {
+		t.Errorf("name = %q", e.EngineName())
+	}
+	e.Ingest(quote(1, "ibm", 50, 1))
+	e.Ingest(quote(2, "ibm", 500, 1)) // filtered
+	e.Ingest(trade(3, "ibm", 10))     // not subscribed
+	if !e.Drain(time.Second) {
+		t.Fatal("drain timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+func TestEngineDuplicateRegister(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(simpleSpec("q1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(simpleSpec("q1"), nil); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+}
+
+func TestEngineRegisterBadSpec(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(QuerySpec{ID: "q", Source: "nope"}, nil); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestEngineUnregisterReturnsSpec(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	spec := simpleSpec("q1")
+	if err := e.Register(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Unregister("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "q1" || got.Source != "quotes" {
+		t.Fatalf("returned spec = %+v", got)
+	}
+	if ids := e.QueryIDs(); len(ids) != 0 {
+		t.Fatalf("queries after unregister = %v", ids)
+	}
+	if _, err := e.Unregister("q1"); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+	// Re-register elsewhere (migration round-trip).
+	e2 := New("other", testCatalog(t))
+	defer e2.Close()
+	if err := e2.Register(got, nil); err != nil {
+		t.Fatalf("re-register migrated spec: %v", err)
+	}
+}
+
+func TestEngineQueryIDsSorted(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	for _, id := range []string{"b", "a", "c"} {
+		if err := e.Register(simpleSpec(id), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := e.QueryIDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestEngineLoad(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	if e.Load() != 0 {
+		t.Error("empty engine has load")
+	}
+	spec := simpleSpec("q1")
+	spec.Load = 10
+	if err := e.Register(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Load(); got < 10 {
+		t.Errorf("load = %v, want >= 10", got)
+	}
+}
+
+func TestEngineMetricsAndPR(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(simpleSpec("q1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 50, 1))
+	}
+	if !e.Drain(time.Second) {
+		t.Fatal("drain timed out")
+	}
+	m, ok := e.Metrics("q1")
+	if !ok {
+		t.Fatal("metrics missing")
+	}
+	if m.Results != 100 {
+		t.Errorf("results = %d, want 100", m.Results)
+	}
+	if m.Delay.Count != 100 || m.Processing.Count != 100 {
+		t.Errorf("counts = %d/%d", m.Delay.Count, m.Processing.Count)
+	}
+	// Delay includes queueing, so PR = d/p >= 1 (within clock noise).
+	if m.PR < 0.5 {
+		t.Errorf("PR = %v, implausibly small", m.PR)
+	}
+	if _, ok := e.Metrics("missing"); ok {
+		t.Error("metrics for unknown query")
+	}
+}
+
+func TestEngineDroppedCounting(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	// A slow query: the filter predicate sleeps, so the queue fills.
+	spec := QuerySpec{
+		ID:     "slow",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 1000},
+		},
+	}
+	if err := e.Register(spec, func(stream.Tuple) {
+		time.Sleep(time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queueDepth*3; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 1, 1))
+	}
+	if e.Dropped("slow") == 0 {
+		t.Error("overloaded queue dropped nothing")
+	}
+	if e.Dropped("missing") != 0 {
+		t.Error("unknown query reports drops")
+	}
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	e := New("test", testCatalog(t))
+	if err := e.Register(simpleSpec("q1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if err := e.Register(simpleSpec("q2"), nil); err == nil {
+		t.Fatal("register after close accepted")
+	}
+}
+
+func TestEngineQueryAccessor(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	if err := e.Register(simpleSpec("q1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := e.Query("q1"); !ok || q.ID() != "q1" {
+		t.Error("Query accessor failed")
+	}
+	if _, ok := e.Query("nope"); ok {
+		t.Error("Query for unknown id")
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	e := New("test", testCatalog(t))
+	defer e.Close()
+	var count int64
+	var mu sync.Mutex
+	if err := e.Register(simpleSpec("q1"), func(stream.Tuple) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e.Ingest(quote(uint64(w*100+i), "ibm", 50, 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 200 {
+		t.Fatalf("results = %d, want 200", count)
+	}
+}
+
+func TestMiniEngineParity(t *testing.T) {
+	// Same workload through both engines must produce the same results —
+	// the heterogeneity guarantee the federation relies on.
+	catalog := testCatalog(t)
+	full := New("full", catalog)
+	defer full.Close()
+	mini := NewMini("mini", catalog)
+	defer mini.Close()
+
+	spec := QuerySpec{
+		ID:     "q",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 40, Hi: 60},
+		},
+	}
+	var fullN, miniN int64
+	var mu sync.Mutex
+	if err := full.Register(spec, func(stream.Tuple) { mu.Lock(); fullN++; mu.Unlock() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mini.Register(spec, func(stream.Tuple) { miniN++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tu := quote(uint64(i), "ibm", float64(i), 1)
+		full.Ingest(tu)
+		mini.Ingest(tu)
+	}
+	if !full.Drain(time.Second) {
+		t.Fatal("drain timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fullN != miniN {
+		t.Fatalf("engines disagree: full=%d mini=%d", fullN, miniN)
+	}
+	if miniN != 21 { // prices 40..60 inclusive
+		t.Fatalf("results = %d, want 21", miniN)
+	}
+	if mini.Results("q") != 21 {
+		t.Fatalf("mini Results = %d", mini.Results("q"))
+	}
+}
+
+func TestMiniEngineLifecycle(t *testing.T) {
+	m := NewMini("m", testCatalog(t))
+	if m.EngineName() != "m" {
+		t.Errorf("name = %q", m.EngineName())
+	}
+	if err := m.Register(simpleSpec("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(simpleSpec("a"), nil); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := m.Register(QuerySpec{ID: "bad", Source: "nope"}, nil); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if got := m.Load(); got <= 0 {
+		t.Errorf("load = %v", got)
+	}
+	if ids := m.QueryIDs(); len(ids) != 1 || ids[0] != "a" {
+		t.Errorf("ids = %v", ids)
+	}
+	spec, err := m.Unregister("a")
+	if err != nil || spec.ID != "a" {
+		t.Fatalf("unregister = %+v, %v", spec, err)
+	}
+	if _, err := m.Unregister("a"); err == nil {
+		t.Error("double unregister accepted")
+	}
+	m.Close()
+	if err := m.Register(simpleSpec("b"), nil); err == nil {
+		t.Error("register after close accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspd/internal/stream"
+)
+
+// MiniEngine is a deliberately different engine implementation: fully
+// synchronous (Ingest runs queries inline under one mutex), with no
+// queues and no latency instrumentation. It stands in for the "different
+// processing engine from a different vendor" the paper's loose-coupling
+// argument hinges on: the federation treats Engine and MiniEngine
+// identically because both speak QuerySpec.
+type MiniEngine struct {
+	name    string
+	catalog *stream.Catalog
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	byInput map[string][]*Query
+	results map[string]int64
+	closed  bool
+}
+
+// NewMini returns a MiniEngine reading schemas from catalog.
+func NewMini(name string, catalog *stream.Catalog) *MiniEngine {
+	return &MiniEngine{
+		name:    name,
+		catalog: catalog,
+		queries: make(map[string]*Query),
+		byInput: make(map[string][]*Query),
+		results: make(map[string]int64),
+	}
+}
+
+// EngineName implements Processor.
+func (m *MiniEngine) EngineName() string { return m.name }
+
+// Register implements Processor.
+func (m *MiniEngine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("miniengine %s: closed", m.name)
+	}
+	if _, dup := m.queries[spec.ID]; dup {
+		return fmt.Errorf("miniengine %s: query %s already registered", m.name, spec.ID)
+	}
+	id := spec.ID
+	q, err := Compile(spec, m.catalog, func(t stream.Tuple) {
+		m.results[id]++
+		if emit != nil {
+			emit(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	m.queries[spec.ID] = q
+	for _, s := range spec.Streams() {
+		m.byInput[s] = append(m.byInput[s], q)
+	}
+	return nil
+}
+
+// Unregister implements Processor.
+func (m *MiniEngine) Unregister(id string) (QuerySpec, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queries[id]
+	if !ok {
+		return QuerySpec{}, fmt.Errorf("miniengine %s: unknown query %s", m.name, id)
+	}
+	delete(m.queries, id)
+	delete(m.results, id)
+	for _, s := range q.Spec().Streams() {
+		list := m.byInput[s]
+		for i := range list {
+			if list[i] == q {
+				m.byInput[s] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(m.byInput[s]) == 0 {
+			delete(m.byInput, s)
+		}
+	}
+	return q.Spec(), nil
+}
+
+// Ingest implements Processor: queries run inline, synchronously.
+func (m *MiniEngine) Ingest(t stream.Tuple) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, q := range m.byInput[t.Stream] {
+		q.Feed(t.Stream, t)
+	}
+}
+
+// FeedQuery delivers a tuple to exactly one registered query, bypassing
+// stream-based routing.
+func (m *MiniEngine) FeedQuery(id string, t stream.Tuple) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queries[id]
+	if !ok {
+		return fmt.Errorf("miniengine %s: unknown query %s", m.name, id)
+	}
+	q.Feed(t.Stream, t)
+	return nil
+}
+
+// QueryIDs implements Processor.
+func (m *MiniEngine) QueryIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.queries))
+	for id := range m.queries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load implements Processor.
+func (m *MiniEngine) Load() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	load := 0.0
+	for _, q := range m.queries {
+		load += q.Spec().EstimatedLoad()
+	}
+	return load
+}
+
+// Results reports the number of result tuples a query has emitted.
+func (m *MiniEngine) Results(id string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.results[id]
+}
+
+// Close implements Processor.
+func (m *MiniEngine) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.queries = make(map[string]*Query)
+	m.byInput = make(map[string][]*Query)
+}
+
+var _ Processor = (*Engine)(nil)
+var _ Processor = (*MiniEngine)(nil)

@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspd/internal/metrics"
+	"sspd/internal/stream"
+)
+
+// Policy selects how SchedEngine picks the next tuple to process. The
+// paper's delay model d = processing + waiting + transfer makes waiting
+// a first-class quantity; the policy decides who waits.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// PolicyFIFO processes tuples strictly in arrival order across all
+	// queries (one logical queue).
+	PolicyFIFO Policy = iota
+	// PolicyRoundRobin serves one tuple from each backlogged query in
+	// turn.
+	PolicyRoundRobin
+	// PolicyLongestQueue always serves the query with the largest
+	// backlog (drains hot spots first).
+	PolicyLongestQueue
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyLongestQueue:
+		return "longest-queue"
+	default:
+		return "unknown"
+	}
+}
+
+// SchedEngine is the third engine implementation: all queries share one
+// scheduler goroutine (the STREAM single-threaded model), with per-query
+// backlogs served under a pluggable Policy. Like the other engines it
+// implements Processor and DirectFeeder, so the federation can run it
+// unchanged.
+type SchedEngine struct {
+	name    string
+	catalog *stream.Catalog
+	policy  Policy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queries map[string]*schedQuery
+	byInput map[string][]*schedQuery
+	rrOrder []string // round-robin cursor state
+	rrNext  int
+	// inflight counts the item currently being processed (popped from
+	// a backlog but not yet fed), so Drain observes true idleness.
+	inflight atomic.Int64
+	closed   bool
+	done     chan struct{}
+}
+
+type schedQuery struct {
+	q       *Query
+	backlog []schedItem
+	results metrics.Counter
+	delay   metrics.Histogram
+	proc    metrics.Histogram
+	dropped metrics.Counter
+}
+
+type schedItem struct {
+	streamName string
+	t          stream.Tuple
+	arrived    time.Time
+}
+
+// schedBacklogCap bounds each query's backlog; overflow drops (counted),
+// matching Engine's semantics.
+const schedBacklogCap = 4096
+
+// NewSched returns a scheduler engine with the given policy.
+func NewSched(name string, catalog *stream.Catalog, policy Policy) *SchedEngine {
+	e := &SchedEngine{
+		name:    name,
+		catalog: catalog,
+		policy:  policy,
+		queries: make(map[string]*schedQuery),
+		byInput: make(map[string][]*schedQuery),
+		done:    make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+// EngineName implements Processor.
+func (e *SchedEngine) EngineName() string { return e.name }
+
+// Policy returns the active scheduling policy.
+func (e *SchedEngine) Policy() Policy { return e.policy }
+
+// Register implements Processor.
+func (e *SchedEngine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("schedengine %s: closed", e.name)
+	}
+	if _, dup := e.queries[spec.ID]; dup {
+		return fmt.Errorf("schedengine %s: query %s already registered", e.name, spec.ID)
+	}
+	sq := &schedQuery{}
+	q, err := Compile(spec, e.catalog, func(t stream.Tuple) {
+		sq.results.Inc()
+		if emit != nil {
+			emit(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sq.q = q
+	e.queries[spec.ID] = sq
+	for _, s := range spec.Streams() {
+		e.byInput[s] = append(e.byInput[s], sq)
+	}
+	e.rrOrder = append(e.rrOrder, spec.ID)
+	sort.Strings(e.rrOrder)
+	return nil
+}
+
+// Unregister implements Processor.
+func (e *SchedEngine) Unregister(id string) (QuerySpec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sq, ok := e.queries[id]
+	if !ok {
+		return QuerySpec{}, fmt.Errorf("schedengine %s: unknown query %s", e.name, id)
+	}
+	delete(e.queries, id)
+	for _, s := range sq.q.Spec().Streams() {
+		list := e.byInput[s]
+		for i := range list {
+			if list[i] == sq {
+				e.byInput[s] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(e.byInput[s]) == 0 {
+			delete(e.byInput, s)
+		}
+	}
+	for i, qid := range e.rrOrder {
+		if qid == id {
+			e.rrOrder = append(e.rrOrder[:i], e.rrOrder[i+1:]...)
+			break
+		}
+	}
+	return sq.q.Spec(), nil
+}
+
+// Ingest implements Processor.
+func (e *SchedEngine) Ingest(t stream.Tuple) {
+	item := schedItem{streamName: t.Stream, t: t, arrived: time.Now()}
+	e.mu.Lock()
+	for _, sq := range e.byInput[t.Stream] {
+		if len(sq.backlog) >= schedBacklogCap {
+			sq.dropped.Inc()
+			continue
+		}
+		sq.backlog = append(sq.backlog, item)
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// FeedQuery implements DirectFeeder.
+func (e *SchedEngine) FeedQuery(id string, t stream.Tuple) error {
+	e.mu.Lock()
+	sq, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("schedengine %s: unknown query %s", e.name, id)
+	}
+	if len(sq.backlog) >= schedBacklogCap {
+		sq.dropped.Inc()
+	} else {
+		sq.backlog = append(sq.backlog, schedItem{streamName: t.Stream, t: t, arrived: time.Now()})
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+	return nil
+}
+
+// run is the single scheduler loop.
+func (e *SchedEngine) run() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		var sq *schedQuery
+		for {
+			if e.closed {
+				e.mu.Unlock()
+				return
+			}
+			sq = e.pickLocked()
+			if sq != nil {
+				break
+			}
+			e.cond.Wait()
+		}
+		item := sq.backlog[0]
+		sq.backlog = sq.backlog[1:]
+		e.inflight.Add(1)
+		e.mu.Unlock()
+
+		start := time.Now()
+		sq.q.Feed(item.streamName, item.t)
+		end := time.Now()
+		sq.proc.Observe(end.Sub(start).Seconds())
+		sq.delay.Observe(end.Sub(item.arrived).Seconds())
+		e.inflight.Add(-1)
+	}
+}
+
+// pickLocked selects the next query to serve per the policy (nil when
+// everything is idle). Caller holds e.mu.
+func (e *SchedEngine) pickLocked() *schedQuery {
+	switch e.policy {
+	case PolicyRoundRobin:
+		n := len(e.rrOrder)
+		for i := 0; i < n; i++ {
+			id := e.rrOrder[(e.rrNext+i)%n]
+			if sq := e.queries[id]; sq != nil && len(sq.backlog) > 0 {
+				e.rrNext = (e.rrNext + i + 1) % n
+				return sq
+			}
+		}
+		return nil
+	case PolicyLongestQueue:
+		var best *schedQuery
+		bestLen := 0
+		for _, id := range e.rrOrder {
+			sq := e.queries[id]
+			if sq != nil && len(sq.backlog) > bestLen {
+				best, bestLen = sq, len(sq.backlog)
+			}
+		}
+		return best
+	default: // PolicyFIFO: oldest head-of-line tuple across queries.
+		var best *schedQuery
+		var bestAt time.Time
+		for _, id := range e.rrOrder {
+			sq := e.queries[id]
+			if sq == nil || len(sq.backlog) == 0 {
+				continue
+			}
+			if best == nil || sq.backlog[0].arrived.Before(bestAt) {
+				best, bestAt = sq, sq.backlog[0].arrived
+			}
+		}
+		return best
+	}
+}
+
+// QueryIDs implements Processor.
+func (e *SchedEngine) QueryIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.rrOrder))
+	copy(out, e.rrOrder)
+	return out
+}
+
+// Load implements Processor.
+func (e *SchedEngine) Load() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	load := 0.0
+	for _, sq := range e.queries {
+		load += sq.q.Spec().EstimatedLoad()
+		load += float64(len(sq.backlog)) / schedBacklogCap
+	}
+	return load
+}
+
+// Metrics returns one query's measured performance (see Engine.Metrics).
+func (e *SchedEngine) Metrics(id string) (QueryMetrics, bool) {
+	e.mu.Lock()
+	sq, ok := e.queries[id]
+	e.mu.Unlock()
+	if !ok {
+		return QueryMetrics{}, false
+	}
+	m := QueryMetrics{
+		ID:         id,
+		Results:    sq.results.Value(),
+		Delay:      sq.delay.Snapshot(),
+		Processing: sq.proc.Snapshot(),
+	}
+	if m.Processing.Mean > 0 {
+		m.PR = m.Delay.Mean / m.Processing.Mean
+	}
+	return m, true
+}
+
+// Dropped reports tuples dropped by one query's full backlog.
+func (e *SchedEngine) Dropped(id string) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sq, ok := e.queries[id]; ok {
+		return sq.dropped.Value()
+	}
+	return 0
+}
+
+// Drain blocks until all backlogs are empty or the timeout elapses.
+func (e *SchedEngine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		e.mu.Lock()
+		pending := int64(0)
+		for _, sq := range e.queries {
+			pending += int64(len(sq.backlog))
+		}
+		pending += e.inflight.Load()
+		e.mu.Unlock()
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close implements Processor.
+func (e *SchedEngine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.queries = make(map[string]*schedQuery)
+	e.byInput = make(map[string][]*schedQuery)
+	e.rrOrder = nil
+	e.mu.Unlock()
+	e.cond.Signal()
+	<-e.done
+}
+
+var _ Processor = (*SchedEngine)(nil)
+var _ DirectFeeder = (*SchedEngine)(nil)

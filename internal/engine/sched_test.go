@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/stream"
+)
+
+func TestSchedEngineBasics(t *testing.T) {
+	for _, policy := range []Policy{PolicyFIFO, PolicyRoundRobin, PolicyLongestQueue} {
+		t.Run(policy.String(), func(t *testing.T) {
+			e := NewSched("sched", testCatalog(t), policy)
+			defer e.Close()
+			if e.EngineName() != "sched" || e.Policy() != policy {
+				t.Error("accessors")
+			}
+			var mu sync.Mutex
+			got := 0
+			if err := e.Register(simpleSpec("q1"), func(stream.Tuple) {
+				mu.Lock()
+				got++
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				e.Ingest(quote(uint64(i), "ibm", 50, 1))
+			}
+			e.Ingest(quote(99, "ibm", 999, 1)) // filtered
+			if !e.Drain(2 * time.Second) {
+				t.Fatal("drain")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if got != 50 {
+				t.Fatalf("results = %d, want 50", got)
+			}
+		})
+	}
+}
+
+func TestSchedEngineLifecycleErrors(t *testing.T) {
+	e := NewSched("s", testCatalog(t), PolicyFIFO)
+	if err := e.Register(simpleSpec("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(simpleSpec("a"), nil); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := e.Register(QuerySpec{ID: "bad", Source: "nope"}, nil); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if ids := e.QueryIDs(); len(ids) != 1 || ids[0] != "a" {
+		t.Errorf("ids = %v", ids)
+	}
+	if e.Load() <= 0 {
+		t.Error("load")
+	}
+	spec, err := e.Unregister("a")
+	if err != nil || spec.ID != "a" {
+		t.Fatalf("unregister = %v/%v", spec.ID, err)
+	}
+	if _, err := e.Unregister("a"); err == nil {
+		t.Error("double unregister accepted")
+	}
+	if err := e.FeedQuery("a", quote(1, "x", 1, 1)); err == nil {
+		t.Error("feed to removed query accepted")
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Register(simpleSpec("b"), nil); err == nil {
+		t.Error("register after close accepted")
+	}
+}
+
+func TestSchedEngineMetricsAndPR(t *testing.T) {
+	e := NewSched("s", testCatalog(t), PolicyFIFO)
+	defer e.Close()
+	if err := e.Register(simpleSpec("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 50, 1))
+	}
+	if !e.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	m, ok := e.Metrics("q")
+	if !ok || m.Results != 200 || m.Delay.Count != 200 {
+		t.Fatalf("metrics = %+v/%v", m, ok)
+	}
+	if m.PR < 0.5 {
+		t.Errorf("PR = %v", m.PR)
+	}
+	if _, ok := e.Metrics("zz"); ok {
+		t.Error("metrics for unknown query")
+	}
+	if e.Dropped("q") != 0 || e.Dropped("zz") != 0 {
+		t.Error("dropped counters")
+	}
+}
+
+func TestSchedEngineFeedQueryDirect(t *testing.T) {
+	e := NewSched("s", testCatalog(t), PolicyRoundRobin)
+	defer e.Close()
+	var mu sync.Mutex
+	got := 0
+	if err := e.Register(simpleSpec("q"), func(stream.Tuple) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FeedQuery("q", quote(1, "ibm", 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Drain(time.Second) {
+		t.Fatal("drain")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 1 {
+		t.Fatalf("direct feed results = %d", got)
+	}
+}
+
+func TestSchedEngineRoundRobinFairness(t *testing.T) {
+	// Two queries, one with a huge pre-loaded backlog: under round-robin
+	// the small query's tuples are served interleaved, so its delay is
+	// far below the big query's. Under FIFO it waits behind everything
+	// older.
+	run := func(policy Policy) (smallDelay, bigDelay float64) {
+		e := NewSched("s", testCatalog(t), policy)
+		defer e.Close()
+		slow := func(stream.Tuple) { time.Sleep(50 * time.Microsecond) }
+		if err := e.Register(simpleSpec("big"), slow); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register(simpleSpec("small"), slow); err != nil {
+			t.Fatal(err)
+		}
+		// Pause the scheduler's progress by loading big's backlog first.
+		for i := 0; i < 400; i++ {
+			e.FeedQuery("big", quote(uint64(i), "ibm", 50, 1))
+		}
+		for i := 0; i < 20; i++ {
+			e.FeedQuery("small", quote(uint64(1000+i), "ibm", 50, 1))
+		}
+		if !e.Drain(10 * time.Second) {
+			t.Fatal("drain")
+		}
+		ms, _ := e.Metrics("small")
+		mb, _ := e.Metrics("big")
+		return ms.Delay.Mean, mb.Delay.Mean
+	}
+	rrSmall, _ := run(PolicyRoundRobin)
+	fifoSmall, _ := run(PolicyFIFO)
+	// Round-robin should serve the small query much sooner than FIFO
+	// (which drains big's 400 older tuples first).
+	if rrSmall*2 >= fifoSmall {
+		t.Errorf("round-robin small delay %v not well below fifo %v", rrSmall, fifoSmall)
+	}
+}
+
+func TestSchedEnginePolicyString(t *testing.T) {
+	cases := map[Policy]string{
+		PolicyFIFO:         "fifo",
+		PolicyRoundRobin:   "round-robin",
+		PolicyLongestQueue: "longest-queue",
+		Policy(9):          "unknown",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestSchedEngineInFederationFactory(t *testing.T) {
+	// SchedEngine satisfies the same contracts; the entity layer can
+	// host fragments on it.
+	catalog := testCatalog(t)
+	e := NewSched("p", catalog, PolicyLongestQueue)
+	defer e.Close()
+	var f DirectFeeder = e
+	if err := e.Register(simpleSpec("q"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FeedQuery("q", quote(1, "ibm", 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Drain(time.Second) {
+		t.Fatal("drain")
+	}
+	m, _ := e.Metrics("q")
+	if m.Results != 1 {
+		t.Fatalf("results = %d", m.Results)
+	}
+}

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+func testCatalog(t testing.TB) *stream.Catalog {
+	t.Helper()
+	c := stream.NewCatalog()
+	quotes := stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 100},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 1000},
+		stream.Field{Name: "volume", Type: stream.KindInt, Lo: 0, Hi: 1e6},
+	)
+	trades := stream.MustSchema("trades",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 100},
+		stream.Field{Name: "qty", Type: stream.KindInt, Lo: 0, Hi: 1e6},
+	)
+	if err := c.Register(quotes); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(trades); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func quote(seq uint64, symbol string, price float64, volume int64) stream.Tuple {
+	return stream.NewTuple("quotes", seq, time.Unix(int64(seq), 0).UTC(),
+		stream.String(symbol), stream.Float(price), stream.Int(volume))
+}
+
+func trade(seq uint64, symbol string, qty int64) stream.Tuple {
+	return stream.NewTuple("trades", seq, time.Unix(int64(seq), 0).UTC(),
+		stream.String(symbol), stream.Int(qty))
+}
+
+func TestQuerySpecValidate(t *testing.T) {
+	good := QuerySpec{
+		ID:     "q1",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100},
+			{KeyField: "symbol", Keys: []string{"ibm"}},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []QuerySpec{
+		{Source: "quotes"},
+		{ID: "q"},
+		{ID: "q", Source: "s", Join: &JoinSpec{}},
+		{ID: "q", Source: "s", Filters: []FilterSpec{{}}},
+		{ID: "q", Source: "s", Filters: []FilterSpec{{Field: "p", Lo: 2, Hi: 1}}},
+		{ID: "q", Source: "s", Filters: []FilterSpec{{KeyField: "k"}}},
+		{ID: "q", Source: "s", Agg: &AggSpec{Fn: operator.AggSum}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	// Count aggregates need no value field.
+	count := QuerySpec{ID: "q", Source: "s", Agg: &AggSpec{Fn: operator.AggCount}}
+	if err := count.Validate(); err != nil {
+		t.Errorf("count agg rejected: %v", err)
+	}
+}
+
+func TestQuerySpecStreams(t *testing.T) {
+	q := QuerySpec{ID: "q", Source: "a"}
+	if got := q.Streams(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Streams = %v", got)
+	}
+	q.Join = &JoinSpec{Stream: "b", LeftKey: "k", RightKey: "k"}
+	if got := q.Streams(); len(got) != 2 || got[1] != "b" {
+		t.Errorf("Streams = %v", got)
+	}
+}
+
+func TestQuerySpecInterest(t *testing.T) {
+	c := testCatalog(t)
+	sc, _ := c.Lookup("quotes")
+	q := QuerySpec{
+		ID:     "q",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 10, Hi: 20},
+			{KeyField: "symbol", Keys: []string{"ibm"}},
+			{Field: "not_in_schema", Lo: 0, Hi: 1}, // ignored for interest
+		},
+	}
+	in := q.Interest("quotes", sc)
+	if !in.Matches(sc, quote(1, "ibm", 15, 1)) {
+		t.Error("interest rejects matching tuple")
+	}
+	if in.Matches(sc, quote(2, "ibm", 25, 1)) {
+		t.Error("interest accepts out-of-range tuple")
+	}
+	if in.Matches(sc, quote(3, "goog", 15, 1)) {
+		t.Error("interest accepts wrong symbol")
+	}
+}
+
+func TestQuerySpecEstimatedLoad(t *testing.T) {
+	q := QuerySpec{ID: "q", Source: "s", Load: 42}
+	if got := q.EstimatedLoad(); got != 42 {
+		t.Errorf("declared load = %v", got)
+	}
+	derived := QuerySpec{
+		ID: "q", Source: "s",
+		Join:    &JoinSpec{Stream: "b", LeftKey: "k", RightKey: "k"}, // default 3
+		Filters: []FilterSpec{{Field: "f", Lo: 0, Hi: 1, Cost: 2}},   // 2
+		Agg:     &AggSpec{Fn: operator.AggCount},                     // default 2
+	}
+	if got := derived.EstimatedLoad(); got != 7 {
+		t.Errorf("derived load = %v, want 7", got)
+	}
+	if got := (QuerySpec{ID: "q", Source: "s"}).EstimatedLoad(); got != 1 {
+		t.Errorf("minimum load = %v, want 1", got)
+	}
+}
+
+func TestFilterSpecInterest(t *testing.T) {
+	f := FilterSpec{Field: "p", Lo: 1, Hi: 2, KeyField: "s", Keys: []string{"a"}}
+	in := f.interest("st")
+	if in.Stream != "st" || len(in.Ranges) != 1 || len(in.Keys) != 1 {
+		t.Errorf("interest = %v", in)
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	w := defaultWindow(stream.WindowSpec{})
+	if w.Kind != stream.WindowByTime || w.Duration != time.Minute {
+		t.Errorf("zero spec default = %+v", w)
+	}
+	w = defaultWindow(stream.WindowSpec{Duration: 5 * time.Second})
+	if w.Kind != stream.WindowByTime || w.Duration != 5*time.Second {
+		t.Errorf("duration-only default = %+v", w)
+	}
+	keep := stream.CountWindow(7)
+	if got := defaultWindow(keep); got != keep {
+		t.Errorf("valid spec mutated: %+v", got)
+	}
+}
+
+func TestCompileSimpleFilterQuery(t *testing.T) {
+	c := testCatalog(t)
+	var results []stream.Tuple
+	q, err := Compile(QuerySpec{
+		ID:     "q1",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 50, Hi: 150},
+			{KeyField: "symbol", Keys: []string{"ibm", "msft"}},
+		},
+	}, c, func(t stream.Tuple) { results = append(results, t) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.Feed("quotes", quote(1, "ibm", 100, 5)); n != 1 {
+		t.Fatalf("matching tuple produced %d results", n)
+	}
+	if n := q.Feed("quotes", quote(2, "ibm", 10, 5)); n != 0 {
+		t.Fatalf("price-filtered tuple produced %d results", n)
+	}
+	if n := q.Feed("quotes", quote(3, "goog", 100, 5)); n != 0 {
+		t.Fatalf("symbol-filtered tuple produced %d results", n)
+	}
+	if n := q.Feed("trades", trade(4, "ibm", 5)); n != 0 {
+		t.Fatalf("unrelated stream produced %d results", n)
+	}
+	if len(results) != 1 {
+		t.Fatalf("emitted %d results", len(results))
+	}
+	if q.ID() != "q1" {
+		t.Errorf("ID = %q", q.ID())
+	}
+	if len(q.Operators()) != 2 {
+		t.Errorf("operators = %d", len(q.Operators()))
+	}
+}
+
+func TestCompileJoinQuery(t *testing.T) {
+	c := testCatalog(t)
+	count := 0
+	q, err := Compile(QuerySpec{
+		ID:     "qj",
+		Source: "quotes",
+		Join: &JoinSpec{
+			Stream: "trades", LeftKey: "symbol", RightKey: "symbol",
+			Window: stream.CountWindow(10),
+		},
+		Filters: []FilterSpec{{Field: "price", Lo: 0, Hi: 100}},
+	}, c, func(stream.Tuple) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed("quotes", quote(1, "ibm", 50, 1))
+	if n := q.Feed("trades", trade(2, "ibm", 7)); n != 1 {
+		t.Fatalf("join+filter results = %d, want 1", n)
+	}
+	// Filter references the un-prefixed source field "price", resolved
+	// to l_price post-join.
+	q.Feed("quotes", quote(3, "goog", 500, 1))
+	if n := q.Feed("trades", trade(4, "goog", 7)); n != 0 {
+		t.Fatalf("filtered join produced %d", n)
+	}
+	if count != 1 {
+		t.Fatalf("emitted = %d", count)
+	}
+	// Tuples on neither input are ignored.
+	other := stream.NewTuple("other", 1, time.Now())
+	if n := q.Feed("other", other); n != 0 {
+		t.Fatalf("unknown stream produced %d", n)
+	}
+}
+
+func TestCompileAggQuery(t *testing.T) {
+	c := testCatalog(t)
+	var last float64
+	q, err := Compile(QuerySpec{
+		ID:     "qa",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{KeyField: "symbol", Keys: []string{"ibm"}},
+		},
+		Agg: &AggSpec{
+			Fn: operator.AggAvg, ValueField: "price",
+			Window: stream.CountWindow(2),
+		},
+	}, c, func(t stream.Tuple) { last = t.Values[1].AsFloat() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed("quotes", quote(1, "ibm", 10, 1))
+	q.Feed("quotes", quote(2, "goog", 999, 1)) // filtered before agg
+	q.Feed("quotes", quote(3, "ibm", 20, 1))
+	if math.Abs(last-15) > 1e-9 {
+		t.Fatalf("avg = %v, want 15", last)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	c := testCatalog(t)
+	cases := []QuerySpec{
+		{ID: "", Source: "quotes"},
+		{ID: "q", Source: "nope"},
+		{ID: "q", Source: "quotes", Join: &JoinSpec{Stream: "nope", LeftKey: "symbol", RightKey: "symbol"}},
+		{ID: "q", Source: "quotes", Join: &JoinSpec{Stream: "trades", LeftKey: "nope", RightKey: "symbol"}},
+		{ID: "q", Source: "quotes", Filters: []FilterSpec{{Field: "nope", Lo: 0, Hi: 1}}},
+		{ID: "q", Source: "quotes", Filters: []FilterSpec{{KeyField: "nope", Keys: []string{"x"}}}},
+		{ID: "q", Source: "quotes", Agg: &AggSpec{Fn: operator.AggSum, ValueField: "nope"}},
+	}
+	for i, spec := range cases {
+		if _, err := Compile(spec, c, nil); err == nil {
+			t.Errorf("bad spec %d compiled", i)
+		}
+	}
+}
+
+func TestReorderFilters(t *testing.T) {
+	c := testCatalog(t)
+	q, err := Compile(QuerySpec{
+		ID:     "q",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 10, Cost: 5},
+		},
+		Agg: &AggSpec{Fn: operator.AggCount, Window: stream.CountWindow(4)},
+	}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := q.FilterCosts()
+	if len(costs) != 2 || costs[0] != 1 || costs[1] != 5 {
+		t.Fatalf("costs = %v", costs)
+	}
+	if err := q.ReorderFilters([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	costs = q.FilterCosts()
+	if costs[0] != 5 || costs[1] != 1 {
+		t.Fatalf("costs after reorder = %v", costs)
+	}
+	// Aggregate must stay terminal: feeding still works and counts.
+	if n := q.Feed("quotes", quote(1, "ibm", 50, 5)); n != 1 {
+		t.Fatalf("post-reorder feed = %d", n)
+	}
+	// Invalid permutations.
+	if err := q.ReorderFilters([]int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if err := q.ReorderFilters([]int{0, 0}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if err := q.ReorderFilters([]int{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+	if sels := q.FilterSelectivities(); len(sels) != 2 {
+		t.Errorf("selectivities = %v", sels)
+	}
+}

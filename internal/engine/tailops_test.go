@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+func TestCompileDistinctQuery(t *testing.T) {
+	c := testCatalog(t)
+	var results []stream.Tuple
+	q, err := Compile(QuerySpec{
+		ID:     "qd",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 1000},
+		},
+		Distinct: &DistinctSpec{Field: "symbol", Window: stream.CountWindow(10)},
+	}, c, func(t stream.Tuple) { results = append(results, t) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed("quotes", quote(1, "ibm", 10, 1))
+	q.Feed("quotes", quote(2, "ibm", 20, 1)) // duplicate symbol
+	q.Feed("quotes", quote(3, "msft", 30, 1))
+	if len(results) != 2 {
+		t.Fatalf("distinct results = %d, want 2", len(results))
+	}
+}
+
+func TestCompileTopKQuery(t *testing.T) {
+	c := testCatalog(t)
+	var last stream.Tuple
+	q, err := Compile(QuerySpec{
+		ID:     "qt",
+		Source: "quotes",
+		TopK:   &TopKSpec{K: 1, ValueField: "price", KeyField: "symbol", Window: stream.CountWindow(10)},
+	}, c, func(t stream.Tuple) { last = t })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed("quotes", quote(1, "ibm", 10, 1))
+	q.Feed("quotes", quote(2, "msft", 99, 1))
+	if last.Values[0].AsString() != "msft" || last.Values[2].AsInt() != 1 {
+		t.Fatalf("top1 = %v", last)
+	}
+	// Lower price does not emit (not in top-1).
+	before := last
+	q.Feed("quotes", quote(3, "goog", 5, 1))
+	if last.Seq != before.Seq {
+		t.Fatal("out-of-topk tuple emitted")
+	}
+}
+
+func TestCompileTopKAfterJoinResolvesPrefixes(t *testing.T) {
+	c := testCatalog(t)
+	q, err := Compile(QuerySpec{
+		ID:     "qjt",
+		Source: "quotes",
+		Join: &JoinSpec{
+			Stream: "trades", LeftKey: "symbol", RightKey: "symbol",
+			Window: stream.CountWindow(10),
+		},
+		// Post-join the fields are l_price / l_symbol; the compiler
+		// resolves the bare names.
+		TopK: &TopKSpec{K: 2, ValueField: "price", KeyField: "symbol", Window: stream.CountWindow(10)},
+	}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Feed("quotes", quote(1, "ibm", 10, 1))
+	if n := q.Feed("trades", trade(2, "ibm", 5)); n != 1 {
+		t.Fatalf("join+topk results = %d", n)
+	}
+}
+
+func TestTailSpecValidation(t *testing.T) {
+	bad := []QuerySpec{
+		{ID: "q", Source: "s", Distinct: &DistinctSpec{}},
+		{ID: "q", Source: "s", TopK: &TopKSpec{K: 0, ValueField: "v", KeyField: "k"}},
+		{ID: "q", Source: "s", TopK: &TopKSpec{K: 1, KeyField: "k"}},
+		{ID: "q", Source: "s", TopK: &TopKSpec{K: 1, ValueField: "v"}},
+		{ID: "q", Source: "s",
+			Agg:  &AggSpec{Fn: operator.AggCount},
+			TopK: &TopKSpec{K: 1, ValueField: "v", KeyField: "k"}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad tail spec %d accepted", i)
+		}
+	}
+	// Compile-time resolution failures.
+	c := testCatalog(t)
+	if _, err := Compile(QuerySpec{
+		ID: "q", Source: "quotes",
+		Distinct: &DistinctSpec{Field: "nope"},
+	}, c, nil); err == nil {
+		t.Error("distinct on missing field compiled")
+	}
+	if _, err := Compile(QuerySpec{
+		ID: "q", Source: "quotes",
+		TopK: &TopKSpec{K: 1, ValueField: "nope", KeyField: "symbol"},
+	}, c, nil); err == nil {
+		t.Error("topk on missing field compiled")
+	}
+}
+
+func TestTailLoadEstimates(t *testing.T) {
+	spec := QuerySpec{
+		ID: "q", Source: "s",
+		Distinct: &DistinctSpec{Field: "k"},                         // 1
+		TopK:     &TopKSpec{K: 1, ValueField: "v", KeyField: "k"},   // 2
+		Filters:  []FilterSpec{{Field: "f", Lo: 0, Hi: 1, Cost: 3}}, // 3
+	}
+	if got := spec.EstimatedLoad(); got != 6 {
+		t.Errorf("load = %v, want 6", got)
+	}
+}
+
+func TestReorderWithMultipleTailOps(t *testing.T) {
+	c := testCatalog(t)
+	q, err := Compile(QuerySpec{
+		ID:     "q",
+		Source: "quotes",
+		Filters: []FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 10, Cost: 5},
+		},
+		Distinct: &DistinctSpec{Field: "symbol", Window: stream.CountWindow(4)},
+		Agg:      &AggSpec{Fn: operator.AggCount, Window: stream.CountWindow(4)},
+	}, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.FilterCosts()); got != 2 {
+		t.Fatalf("filter count with 2 tail ops = %d", got)
+	}
+	if err := q.ReorderFilters([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Tail ops survive the reorder in place: feeding still aggregates.
+	if n := q.Feed("quotes", quote(1, "ibm", 50, 5)); n != 1 {
+		t.Fatalf("results after reorder = %d", n)
+	}
+	ops := q.Operators()
+	if ops[len(ops)-1].Name() != "q/agg" || ops[len(ops)-2].Name() != "q/distinct" {
+		t.Fatalf("tail order broken: %s, %s",
+			ops[len(ops)-2].Name(), ops[len(ops)-1].Name())
+	}
+}

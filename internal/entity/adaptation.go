@@ -1,0 +1,221 @@
+package entity
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspd/internal/engine"
+	"sspd/internal/metrics"
+	"sspd/internal/stream"
+)
+
+// OptimalFilterOrder is re-exported from the engine package (the
+// ordering math lives beside the queries it permutes).
+func OptimalFilterOrder(costs, sels []float64) []int {
+	return engine.OptimalFilterOrder(costs, sels)
+}
+
+// ExpectedFilterCost is re-exported from the engine package.
+func ExpectedFilterCost(costs, sels []float64, perm []int) float64 {
+	return engine.ExpectedFilterCost(costs, sels, perm)
+}
+
+// AM is the paper's Adaptation Module: it intercepts the tuples flowing
+// into one compiled query, keeps observing the engine-reported
+// selectivities, and periodically re-orders the query's commutable
+// filters to the currently optimal order. It is engine-independent: it
+// only uses the Query's public reorder hook, never engine internals.
+type AM struct {
+	q *engine.Query
+	// every is the adaptation check period in tuples.
+	every int
+	// minGain is the relative expected-cost improvement required to
+	// reorder (hysteresis against thrashing).
+	minGain float64
+
+	fed         int
+	Adaptations metrics.Counter
+}
+
+// NewAM wraps a compiled query. every <= 0 defaults to 256 tuples;
+// minGain <= 0 defaults to 5%.
+func NewAM(q *engine.Query, every int, minGain float64) (*AM, error) {
+	if q == nil {
+		return nil, fmt.Errorf("entity: AM needs a query")
+	}
+	if every <= 0 {
+		every = 256
+	}
+	if minGain <= 0 {
+		minGain = 0.05
+	}
+	return &AM{q: q, every: every, minGain: minGain}, nil
+}
+
+// Feed pushes one tuple through the query (returning its result count)
+// and adapts the operator ordering when due. Like the Query itself, Feed
+// is single-threaded.
+func (am *AM) Feed(streamName string, t stream.Tuple) int {
+	n := am.q.Feed(streamName, t)
+	am.fed++
+	if am.fed%am.every == 0 {
+		am.maybeReorder()
+	}
+	return n
+}
+
+// maybeReorder applies the optimal order if it beats the current order
+// by at least minGain.
+func (am *AM) maybeReorder() {
+	sels := am.q.FilterSelectivities()
+	costs := am.q.FilterCosts()
+	if len(sels) < 2 {
+		return
+	}
+	current := make([]int, len(sels))
+	for i := range current {
+		current[i] = i
+	}
+	best := OptimalFilterOrder(costs, sels)
+	curCost := ExpectedFilterCost(costs, sels, current)
+	bestCost := ExpectedFilterCost(costs, sels, best)
+	if bestCost < curCost*(1-am.minGain) {
+		if err := am.q.ReorderFilters(best); err == nil {
+			am.Adaptations.Inc()
+		}
+	}
+}
+
+// Query exposes the wrapped query.
+func (am *AM) Query() *engine.Query { return am.q }
+
+// Candidate is one possible immediate downstream processor for a
+// fragment's output, scored by the statistics the AM collects (queue
+// pressure, observed delay).
+type Candidate struct {
+	ID string
+}
+
+// DownstreamChooser picks, per output tuple, the best immediate
+// downstream processor among candidates — the per-tuple routing decision
+// of Section 4.2. Scores are smoothed observed delays; Report feeds
+// measurements back. Safe for concurrent use.
+type DownstreamChooser struct {
+	mu    sync.Mutex
+	score map[string]*metrics.EWMA
+	order []string
+	// explore sends every Nth tuple to a random-ish (round-robin)
+	// candidate so stale scores recover.
+	explore int
+	n       int
+}
+
+// NewDownstreamChooser builds a chooser over candidate processor IDs.
+// every <= 0 defaults to exploring every 32nd tuple.
+func NewDownstreamChooser(candidates []string, explore int) (*DownstreamChooser, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("entity: chooser needs candidates")
+	}
+	if explore <= 0 {
+		explore = 32
+	}
+	c := &DownstreamChooser{
+		score:   make(map[string]*metrics.EWMA, len(candidates)),
+		explore: explore,
+	}
+	for _, id := range candidates {
+		if _, dup := c.score[id]; dup {
+			return nil, fmt.Errorf("entity: duplicate candidate %q", id)
+		}
+		c.score[id] = metrics.NewEWMA(0.2)
+		c.order = append(c.order, id)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Choose returns the candidate with the lowest smoothed delay,
+// periodically interleaving exploration of the others.
+func (c *DownstreamChooser) Choose() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.n%c.explore == 0 {
+		return c.order[(c.n/c.explore)%len(c.order)]
+	}
+	best := ""
+	bestScore := 0.0
+	for _, id := range c.order {
+		e := c.score[id]
+		if !e.Initialized() {
+			return id // unmeasured candidates first
+		}
+		if s := e.Value(); best == "" || s < bestScore {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// Report feeds an observed delay (seconds) for a candidate back into
+// the chooser. Unknown candidates are ignored.
+func (c *DownstreamChooser) Report(id string, delaySeconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.score[id]; ok {
+		e.Update(delaySeconds)
+	}
+}
+
+// Score returns the current smoothed delay for a candidate (0 if
+// unmeasured or unknown).
+func (c *DownstreamChooser) Score(id string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.score[id]; ok {
+		return e.Value()
+	}
+	return 0
+}
+
+// SplitSpec cuts a query into n contiguous fragments for placement on
+// different processors. Only the filter chain is cuttable: a query with
+// a join is never split (the paper's own argument — operator state makes
+// finer cuts engine-specific), and a terminal aggregate stays in the
+// last fragment. Fragment IDs are spec.ID + "#<i>"; every fragment keeps
+// the original Source stream (filters preserve the schema), so fragment
+// i+1 can consume fragment i's output unchanged.
+func SplitSpec(spec engine.QuerySpec, n int) []engine.QuerySpec {
+	if spec.Join != nil || len(spec.Filters) < 2 || n <= 1 {
+		one := spec
+		one.ID = spec.ID + "#0"
+		return []engine.QuerySpec{one}
+	}
+	if n > len(spec.Filters) {
+		n = len(spec.Filters)
+	}
+	per := len(spec.Filters) / n
+	extra := len(spec.Filters) % n
+	out := make([]engine.QuerySpec, 0, n)
+	idx := 0
+	for i := 0; i < n; i++ {
+		take := per
+		if i < extra {
+			take++
+		}
+		frag := engine.QuerySpec{
+			ID:      fmt.Sprintf("%s#%d", spec.ID, i),
+			Source:  spec.Source,
+			Filters: spec.Filters[idx : idx+take],
+		}
+		idx += take
+		if i == n-1 {
+			frag.Distinct = spec.Distinct
+			frag.Agg = spec.Agg
+			frag.TopK = spec.TopK
+		}
+		out = append(out, frag)
+	}
+	return out
+}

@@ -1,0 +1,599 @@
+package entity
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspd/internal/engine"
+	"sspd/internal/metrics"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+// Message kinds on the intra-entity network.
+const (
+	// KindFeed carries an addressed tuple: a query-fragment ID followed
+	// by one encoded tuple.
+	KindFeed = "ent.feed"
+	// KindIngest carries a batch for a stream's delegation processor.
+	KindIngest = "ent.ingest"
+)
+
+// EngineFactory builds the processing engine for one processor. It lets
+// an entity run any engine (the platform-independence requirement).
+type EngineFactory func(name string, catalog *stream.Catalog) engine.Processor
+
+// Entity is the runtime intra-entity layer: n processors joined by the
+// entity's local network, with per-stream delegation processors, query
+// fragments placed across processors, and addressed tuple routing
+// between consecutive fragments.
+type Entity struct {
+	id        string
+	transport simnet.Transport
+	catalog   *stream.Catalog
+
+	mu      sync.Mutex
+	procs   []*procNode
+	deleg   map[string]int // stream name -> processor index
+	queries map[string]*placedQuery
+	// results receives (queryID, tuple) for every final result.
+	results func(string, stream.Tuple)
+
+	// Delivered counts result tuples across all queries.
+	Delivered metrics.Counter
+	closed    bool
+}
+
+type procNode struct {
+	idx    int
+	id     simnet.NodeID
+	eng    engine.Processor
+	feeder engine.DirectFeeder
+	entity *Entity
+	// routes maps a fragment ID hosted elsewhere to its processor, for
+	// forwarding fragment output.
+	mu     sync.Mutex
+	routes map[string]simnet.NodeID
+	// streams lists fragment IDs to feed per incoming stream batch
+	// (fragment 0 of each query whose source is that stream, when this
+	// processor is the stream's delegation processor: it fans out).
+	fanout map[string][]fanoutTarget
+}
+
+type fanoutTarget struct {
+	frag string
+	node simnet.NodeID
+}
+
+type placedQuery struct {
+	spec  engine.QuerySpec
+	frags []engine.QuerySpec
+	procs []int // processor index per fragment
+}
+
+// New creates an entity with nProcs processors, each running an engine
+// built by factory (nil uses the full engine.New). Processor endpoints
+// are registered on the transport as "<id>/p<i>".
+func New(id string, transport simnet.Transport, catalog *stream.Catalog,
+	nProcs int, factory EngineFactory) (*Entity, error) {
+	if id == "" || transport == nil || catalog == nil {
+		return nil, fmt.Errorf("entity: need id, transport, and catalog")
+	}
+	if nProcs < 1 {
+		nProcs = 1
+	}
+	if factory == nil {
+		factory = func(name string, c *stream.Catalog) engine.Processor {
+			return engine.New(name, c)
+		}
+	}
+	e := &Entity{
+		id:        id,
+		transport: transport,
+		catalog:   catalog,
+		deleg:     make(map[string]int),
+		queries:   make(map[string]*placedQuery),
+	}
+	for i := 0; i < nProcs; i++ {
+		eng := factory(fmt.Sprintf("%s/p%d", id, i), catalog)
+		feeder, ok := eng.(engine.DirectFeeder)
+		if !ok {
+			eng.Close()
+			e.Close()
+			return nil, fmt.Errorf("entity: engine %T cannot host fragments (no FeedQuery)", eng)
+		}
+		p := &procNode{
+			idx:    i,
+			id:     simnet.NodeID(fmt.Sprintf("%s/p%d", id, i)),
+			eng:    eng,
+			feeder: feeder,
+			entity: e,
+			routes: make(map[string]simnet.NodeID),
+			fanout: make(map[string][]fanoutTarget),
+		}
+		if err := transport.Register(p.id, p.handle); err != nil {
+			eng.Close()
+			e.Close()
+			return nil, err
+		}
+		e.procs = append(e.procs, p)
+	}
+	return e, nil
+}
+
+// ID returns the entity's name.
+func (e *Entity) ID() string { return e.id }
+
+// NumProcs returns the processor count.
+func (e *Entity) NumProcs() int { return len(e.procs) }
+
+// Proc exposes processor i's engine; experiments and tests read
+// per-processor statistics through it. It panics on a bad index,
+// matching slice semantics.
+func (e *Entity) Proc(i int) engine.Processor { return e.procs[i].eng }
+
+// SetResultHandler installs the sink for final query results.
+func (e *Entity) SetResultHandler(fn func(queryID string, t stream.Tuple)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.results = fn
+}
+
+// Delegation returns the endpoint of the processor delegated for a
+// stream, assigning one (least-delegated-streams first) on first use —
+// the paper's answer to "one processor cannot receive all streams".
+func (e *Entity) Delegation(streamName string) simnet.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.procs[e.delegationLocked(streamName)].id
+}
+
+func (e *Entity) delegationLocked(streamName string) int {
+	if idx, ok := e.deleg[streamName]; ok {
+		return idx
+	}
+	counts := make([]int, len(e.procs))
+	for _, idx := range e.deleg {
+		counts[idx]++
+	}
+	best := 0
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[best] {
+			best = i
+		}
+	}
+	e.deleg[streamName] = best
+	return best
+}
+
+// ForceDelegation pins a stream's delegation to a specific processor.
+// The delegation experiment uses it to model the single-receiver
+// baseline (every stream delegated to processor 0). It must be called
+// before queries on that stream are placed.
+func (e *Entity) ForceDelegation(streamName string, procIdx int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if procIdx < 0 || procIdx >= len(e.procs) {
+		return fmt.Errorf("entity %s: processor index %d out of range", e.id, procIdx)
+	}
+	e.deleg[streamName] = procIdx
+	return nil
+}
+
+// Ingest hands one tuple of a stream to the entity (the dissemination
+// relay's deliver callback). The tuple goes to the stream's delegation
+// processor, which fans it out to every processor hosting a fragment-0
+// consumer.
+func (e *Entity) Ingest(t stream.Tuple) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	idx := e.delegationLocked(t.Stream)
+	p := e.procs[idx]
+	e.mu.Unlock()
+	p.ingest(stream.Batch{t})
+}
+
+// IngestBatch is Ingest for a whole batch.
+func (e *Entity) IngestBatch(b stream.Batch) {
+	byStream := make(map[string]stream.Batch)
+	for _, t := range b {
+		byStream[t.Stream] = append(byStream[t.Stream], t)
+	}
+	streams := make([]string, 0, len(byStream))
+	for s := range byStream {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+	for _, s := range streams {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		p := e.procs[e.delegationLocked(s)]
+		e.mu.Unlock()
+		p.ingest(byStream[s])
+	}
+}
+
+// PlaceQuery splits the query into nFrags fragments and registers them
+// across processors: fragments go to the least-loaded processors,
+// contiguously, at most spec-distribution-limit many (nFrags already
+// encodes the caller's choice). Fragment outputs chain via addressed
+// transport messages; the final fragment's results reach the entity's
+// result handler.
+func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("entity %s: closed", e.id)
+	}
+	if _, dup := e.queries[spec.ID]; dup {
+		return fmt.Errorf("entity %s: query %s already placed", e.id, spec.ID)
+	}
+	frags := SplitSpec(spec, nFrags)
+	// Choose processors: least-loaded first, one per fragment,
+	// reusing processors round-robin when fragments outnumber them.
+	order := make([]int, len(e.procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := e.procs[order[a]].eng.Load(), e.procs[order[b]].eng.Load()
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	procIdx := make([]int, len(frags))
+	for i := range frags {
+		procIdx[i] = order[i%len(order)]
+	}
+
+	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx}
+	queryID := spec.ID
+	registered := make([]int, 0, len(frags))
+	for i := len(frags) - 1; i >= 0; i-- {
+		p := e.procs[procIdx[i]]
+		var emit func(stream.Tuple)
+		if i == len(frags)-1 {
+			emit = func(t stream.Tuple) {
+				e.Delivered.Inc()
+				e.mu.Lock()
+				fn := e.results
+				e.mu.Unlock()
+				if fn != nil {
+					fn(queryID, t)
+				}
+			}
+		} else {
+			nextFrag := frags[i+1].ID
+			nextProc := e.procs[procIdx[i+1]]
+			from := p.id
+			if nextProc == p {
+				// Same processor: feed directly, no network hop.
+				feeder := p.feeder
+				emit = func(t stream.Tuple) { _ = feeder.FeedQuery(nextFrag, t) }
+			} else {
+				to := nextProc.id
+				tr := e.transport
+				emit = func(t stream.Tuple) {
+					_ = tr.Send(from, to, KindFeed, encodeFeed(nextFrag, t))
+				}
+			}
+		}
+		if err := p.eng.Register(frags[i], emit); err != nil {
+			for _, j := range registered {
+				_, _ = e.procs[procIdx[j]].eng.Unregister(frags[j].ID)
+			}
+			return fmt.Errorf("entity %s: placing %s: %w", e.id, frags[i].ID, err)
+		}
+		registered = append(registered, i)
+	}
+	// Delegation fan-out: fragment 0 consumes the source stream(s).
+	head := frags[0]
+	headProc := e.procs[procIdx[0]]
+	for _, s := range head.Streams() {
+		di := e.delegationLocked(s)
+		dp := e.procs[di]
+		dp.mu.Lock()
+		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.ID, node: headProc.id})
+		dp.mu.Unlock()
+	}
+	e.queries[spec.ID] = pq
+	return nil
+}
+
+// RemoveQuery unregisters all fragments of a query and returns its spec
+// for re-placement elsewhere (query-level migration).
+func (e *Entity) RemoveQuery(id string) (engine.QuerySpec, error) {
+	e.mu.Lock()
+	pq, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return engine.QuerySpec{}, fmt.Errorf("entity %s: unknown query %s", e.id, id)
+	}
+	delete(e.queries, id)
+	head := pq.frags[0]
+	for _, s := range head.Streams() {
+		if di, ok := e.deleg[s]; ok {
+			dp := e.procs[di]
+			dp.mu.Lock()
+			targets := dp.fanout[s]
+			kept := targets[:0]
+			for _, tgt := range targets {
+				if tgt.frag != head.ID {
+					kept = append(kept, tgt)
+				}
+			}
+			dp.fanout[s] = kept
+			dp.mu.Unlock()
+		}
+	}
+	procs := make([]*procNode, len(pq.frags))
+	for i := range pq.frags {
+		procs[i] = e.procs[pq.procs[i]]
+	}
+	e.mu.Unlock()
+	for i, frag := range pq.frags {
+		if _, err := procs[i].eng.Unregister(frag.ID); err != nil {
+			return engine.QuerySpec{}, err
+		}
+	}
+	return pq.spec, nil
+}
+
+// Queries returns the IDs of placed queries, sorted.
+func (e *Entity) Queries() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryPlacement reports which processor indexes host each fragment of a
+// query.
+func (e *Entity) QueryPlacement(id string) ([]int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pq, ok := e.queries[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, len(pq.procs))
+	copy(out, pq.procs)
+	return out, true
+}
+
+// Interest derives the entity's aggregated data interest in one stream:
+// the union of its placed queries' interests — what the entity registers
+// up the dissemination tree.
+func (e *Entity) Interest(streamName string) []stream.Interest {
+	sc, ok := e.catalog.Lookup(streamName)
+	if !ok {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []stream.Interest
+	for _, id := range ids {
+		pq := e.queries[id]
+		for _, s := range pq.spec.Streams() {
+			if s == streamName {
+				out = append(out, pq.spec.Interest(streamName, sc))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Load returns the entity's total engine load — the vertex weight its
+// queries contribute to the federation's query graph.
+func (e *Entity) Load() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sum := 0.0
+	for _, p := range e.procs {
+		sum += p.eng.Load()
+	}
+	return sum
+}
+
+// ProcLoads returns each processor's current load.
+func (e *Entity) ProcLoads() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]float64, len(e.procs))
+	for i, p := range e.procs {
+		out[i] = p.eng.Load()
+	}
+	return out
+}
+
+// ReplaceQuery re-places a query's fragments on the currently
+// least-loaded processors (fresh placement decision) — the runtime form
+// of Section 4.1's *dynamic* operator placement. The query is briefly
+// unregistered; tuples arriving in that window are not queued for it.
+func (e *Entity) ReplaceQuery(id string, nFrags int) error {
+	spec, err := e.RemoveQuery(id)
+	if err != nil {
+		return err
+	}
+	return e.PlaceQuery(spec, nFrags)
+}
+
+// RebalanceOnce moves one query from the most-loaded processor to a
+// fresh placement when the processor-load imbalance exceeds threshold
+// (max/mean; e.g. 1.5). It prefers the lightest query on the hot
+// processor, minimizing the disruption per unit of relief. It reports
+// whether a move happened.
+func (e *Entity) RebalanceOnce(threshold float64, nFrags int) (bool, error) {
+	if threshold < 1 {
+		threshold = 1.5
+	}
+	e.mu.Lock()
+	loads := make([]float64, len(e.procs))
+	sum := 0.0
+	hot := 0
+	for i, p := range e.procs {
+		loads[i] = p.eng.Load()
+		sum += loads[i]
+		if loads[i] > loads[hot] {
+			hot = i
+		}
+	}
+	mean := sum / float64(len(e.procs))
+	if mean == 0 || loads[hot]/mean < threshold {
+		e.mu.Unlock()
+		return false, nil
+	}
+	// Lightest query with a fragment on the hot processor.
+	victim := ""
+	victimLoad := 0.0
+	ids := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pq := e.queries[id]
+		onHot := false
+		for _, pi := range pq.procs {
+			if pi == hot {
+				onHot = true
+				break
+			}
+		}
+		if !onHot {
+			continue
+		}
+		l := pq.spec.EstimatedLoad()
+		if victim == "" || l < victimLoad {
+			victim, victimLoad = id, l
+		}
+	}
+	e.mu.Unlock()
+	if victim == "" {
+		return false, nil
+	}
+	if err := e.ReplaceQuery(victim, nFrags); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// AdaptOrdering asks every processor engine that supports it (the
+// engine.Adapter capability) to re-order its queries' commutable
+// operators from observed statistics — the entity-wide Adaptation Module
+// sweep. It returns the number of adaptation requests honored.
+func (e *Entity) AdaptOrdering(minGain float64) int {
+	e.mu.Lock()
+	procs := make([]*procNode, len(e.procs))
+	copy(procs, e.procs)
+	e.mu.Unlock()
+	n := 0
+	for _, p := range procs {
+		if a, ok := p.eng.(engine.Adapter); ok {
+			n += a.AdaptOrdering(minGain)
+		}
+	}
+	return n
+}
+
+// Close stops every processor and deregisters the endpoints.
+func (e *Entity) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	procs := e.procs
+	e.mu.Unlock()
+	for _, p := range procs {
+		_ = e.transport.Deregister(p.id)
+		p.eng.Close()
+	}
+}
+
+// ingest routes a same-stream batch: deliver to local fragment-0
+// consumers and forward addressed copies to remote ones.
+func (p *procNode) ingest(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	targets := make([]fanoutTarget, len(p.fanout[b[0].Stream]))
+	copy(targets, p.fanout[b[0].Stream])
+	p.mu.Unlock()
+	for _, tgt := range targets {
+		if tgt.node == p.id {
+			for _, t := range b {
+				_ = p.feeder.FeedQuery(tgt.frag, t)
+			}
+			continue
+		}
+		for _, t := range b {
+			_ = p.entity.transport.Send(p.id, tgt.node, KindFeed, encodeFeed(tgt.frag, t))
+		}
+	}
+}
+
+// handle is the processor's transport callback.
+func (p *procNode) handle(m simnet.Message) {
+	switch m.Kind {
+	case KindFeed:
+		frag, t, err := decodeFeed(m.Payload)
+		if err != nil {
+			return
+		}
+		_ = p.feeder.FeedQuery(frag, t)
+	case KindIngest:
+		batch, _, err := stream.DecodeBatch(m.Payload)
+		if err != nil {
+			return
+		}
+		p.ingest(batch)
+	}
+}
+
+// encodeFeed frames an addressed tuple: uint16 len(frag) | frag | tuple.
+func encodeFeed(frag string, t stream.Tuple) []byte {
+	buf := binary.LittleEndian.AppendUint16(nil, uint16(len(frag)))
+	buf = append(buf, frag...)
+	return stream.AppendTuple(buf, t)
+}
+
+func decodeFeed(payload []byte) (string, stream.Tuple, error) {
+	if len(payload) < 2 {
+		return "", stream.Tuple{}, fmt.Errorf("entity: truncated feed frame")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) < 2+n {
+		return "", stream.Tuple{}, fmt.Errorf("entity: truncated feed fragment id")
+	}
+	frag := string(payload[2 : 2+n])
+	t, _, err := stream.DecodeTuple(payload[2+n:])
+	if err != nil {
+		return "", stream.Tuple{}, err
+	}
+	return frag, t, nil
+}

@@ -1,0 +1,483 @@
+package entity
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+// miniFactory builds synchronous engines so tests observe results
+// deterministically after Quiesce.
+func miniFactory(name string, c *stream.Catalog) engine.Processor {
+	return engine.NewMini(name, c)
+}
+
+type resultLog struct {
+	mu  sync.Mutex
+	got map[string]int
+}
+
+func newResultLog() *resultLog { return &resultLog{got: make(map[string]int)} }
+
+func (r *resultLog) handle(queryID string, _ stream.Tuple) {
+	r.mu.Lock()
+	r.got[queryID]++
+	r.mu.Unlock()
+}
+
+func (r *resultLog) count(q string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.got[q]
+}
+
+func newTestEntity(t *testing.T, nProcs int) (*Entity, *simnet.SimNet, *resultLog) {
+	t.Helper()
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	e, err := New("e1", net, testCatalog(t), nProcs, miniFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	log := newResultLog()
+	e.SetResultHandler(log.handle)
+	return e, net, log
+}
+
+func filterSpec(id string, lo, hi float64) engine.QuerySpec {
+	return engine.QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: lo, Hi: hi, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 1000, Cost: 1},
+		},
+	}
+}
+
+func TestEntityConstruction(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	if _, err := New("", net, testCatalog(t), 1, nil); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New("e", nil, testCatalog(t), 1, nil); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := New("e", net, nil, 1, nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	e, err := New("e", net, testCatalog(t), 0, nil) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumProcs() != 1 {
+		t.Errorf("procs = %d", e.NumProcs())
+	}
+	if e.ID() != "e" {
+		t.Errorf("id = %q", e.ID())
+	}
+}
+
+func TestEntitySingleFragmentQuery(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Ingest(quote(1, "ibm", 50, 5))
+	e.Ingest(quote(2, "ibm", 500, 5)) // filtered out
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if log.count("q1") != 1 {
+		t.Errorf("results = %d, want 1", log.count("q1"))
+	}
+	if e.Delivered.Value() != 1 {
+		t.Errorf("Delivered = %d", e.Delivered.Value())
+	}
+}
+
+func TestEntityFragmentChainAcrossProcessors(t *testing.T) {
+	e, net, log := newTestEntity(t, 3)
+	spec := engine.QuerySpec{
+		ID:     "q1",
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 10, Cost: 1},
+			{KeyField: "symbol", Keys: []string{"ibm"}, Cost: 1},
+		},
+	}
+	if err := e.PlaceQuery(spec, 3); err != nil {
+		t.Fatal(err)
+	}
+	placement, ok := e.QueryPlacement("q1")
+	if !ok || len(placement) != 3 {
+		t.Fatalf("placement = %v", placement)
+	}
+	distinct := map[int]bool{}
+	for _, p := range placement {
+		distinct[p] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("fragments not spread: %v", placement)
+	}
+	e.Ingest(quote(1, "ibm", 50, 5))   // passes all three
+	e.Ingest(quote(2, "ibm", 50, 500)) // fails volume (fragment 2)
+	e.Ingest(quote(3, "goog", 50, 5))  // fails symbol (fragment 3)
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if log.count("q1") != 1 {
+		t.Errorf("results = %d, want 1", log.count("q1"))
+	}
+	// Fragment chaining crossed the network: intra-entity links carry
+	// addressed feed messages.
+	if net.Traffic().TotalMessages() == 0 {
+		t.Error("no intra-entity traffic for a spread query")
+	}
+}
+
+func TestEntityJoinQuery(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	spec := engine.QuerySpec{
+		ID:     "qj",
+		Source: "quotes",
+		Join: &engine.JoinSpec{
+			Stream: "trades", LeftKey: "symbol", RightKey: "symbol",
+			Window: stream.CountWindow(10),
+		},
+	}
+	if err := e.PlaceQuery(spec, 2); err != nil { // join never splits
+		t.Fatal(err)
+	}
+	e.Ingest(quote(1, "ibm", 50, 5))
+	e.Ingest(stream.NewTuple("trades", 2, time.Unix(2, 0).UTC(),
+		stream.String("ibm"), stream.Int(100)))
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if log.count("qj") != 1 {
+		t.Errorf("join results = %d, want 1", log.count("qj"))
+	}
+}
+
+func TestEntityDuplicateAndBadQueries(t *testing.T) {
+	e, _, _ := newTestEntity(t, 2)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PlaceQuery(filterSpec("q1", 0, 1), 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := e.PlaceQuery(engine.QuerySpec{ID: "bad"}, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if err := e.PlaceQuery(engine.QuerySpec{ID: "q2", Source: "nostream"}, 1); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	// Failed placement must not leave fragments behind.
+	if got := e.Queries(); len(got) != 1 || got[0] != "q1" {
+		t.Errorf("queries = %v", got)
+	}
+}
+
+func TestEntityRemoveQuery(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 100), 2); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := e.RemoveQuery("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ID != "q1" {
+		t.Errorf("returned spec = %+v", spec)
+	}
+	if _, err := e.RemoveQuery("q1"); err == nil {
+		t.Error("double remove accepted")
+	}
+	// No more deliveries after removal.
+	e.Ingest(quote(1, "ibm", 50, 5))
+	net.Quiesce(time.Second)
+	if log.count("q1") != 0 {
+		t.Errorf("removed query delivered %d", log.count("q1"))
+	}
+	// Migration round-trip: re-place the returned spec.
+	if err := e.PlaceQuery(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Ingest(quote(2, "ibm", 50, 5))
+	net.Quiesce(time.Second)
+	if log.count("q1") != 1 {
+		t.Errorf("re-placed query delivered %d", log.count("q1"))
+	}
+}
+
+func TestEntityDelegationSpreadsStreams(t *testing.T) {
+	e, _, _ := newTestEntity(t, 3)
+	d1 := e.Delegation("quotes")
+	d2 := e.Delegation("trades")
+	if d1 == d2 {
+		t.Errorf("both streams delegated to %s", d1)
+	}
+	// Stable assignment.
+	if e.Delegation("quotes") != d1 {
+		t.Error("delegation not stable")
+	}
+}
+
+func TestEntityInterestAggregation(t *testing.T) {
+	e, _, _ := newTestEntity(t, 2)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PlaceQuery(filterSpec("q2", 500, 600), 1); err != nil {
+		t.Fatal(err)
+	}
+	terms := e.Interest("quotes")
+	if len(terms) != 2 {
+		t.Fatalf("interest terms = %d", len(terms))
+	}
+	if got := e.Interest("nostream"); got != nil {
+		t.Errorf("interest for unknown stream = %v", got)
+	}
+	if e.Load() <= 0 {
+		t.Error("load not positive with queries placed")
+	}
+	if loads := e.ProcLoads(); len(loads) != 2 {
+		t.Errorf("proc loads = %v", loads)
+	}
+}
+
+func TestEntityIngestBatch(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 1000), 1); err != nil {
+		t.Fatal(err)
+	}
+	batch := stream.Batch{
+		quote(1, "a", 1, 1),
+		quote(2, "b", 2, 1),
+		stream.NewTuple("trades", 3, time.Unix(3, 0).UTC(),
+			stream.String("a"), stream.Int(1)),
+	}
+	e.IngestBatch(batch)
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if log.count("q1") != 2 {
+		t.Errorf("batch results = %d, want 2", log.count("q1"))
+	}
+}
+
+func TestEntityCloseStopsIngest(t *testing.T) {
+	e, _, log := newTestEntity(t, 1)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 1000), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	e.Ingest(quote(1, "a", 1, 1))
+	if log.count("q1") != 0 {
+		t.Error("closed entity still delivering")
+	}
+	if err := e.PlaceQuery(filterSpec("q2", 0, 1), 1); err == nil {
+		t.Error("place after close accepted")
+	}
+}
+
+func TestEntityWithFullEngine(t *testing.T) {
+	// The same scenario through the asynchronous engine implementation.
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	e, err := New("e1", net, testCatalog(t), 2, nil) // default full engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	log := newResultLog()
+	e.SetResultHandler(log.handle)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 100), 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 50, 5))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for log.count("q1") < 50 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := log.count("q1"); got != 50 {
+		t.Errorf("full-engine results = %d, want 50", got)
+	}
+}
+
+func TestEntityReplaceQuery(t *testing.T) {
+	e, net, log := newTestEntity(t, 3)
+	if err := e.PlaceQuery(filterSpec("q1", 0, 1000), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReplaceQuery("q1", 1); err != nil {
+		t.Fatal(err)
+	}
+	placement, ok := e.QueryPlacement("q1")
+	if !ok || len(placement) != 1 {
+		t.Fatalf("placement after replace = %v/%v", placement, ok)
+	}
+	// Still processes.
+	e.Ingest(quote(1, "ibm", 50, 5))
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if log.count("q1") != 1 {
+		t.Fatalf("results = %d", log.count("q1"))
+	}
+	if err := e.ReplaceQuery("nope", 1); err == nil {
+		t.Error("replacing unknown query accepted")
+	}
+}
+
+func TestEntityRebalanceOnce(t *testing.T) {
+	e, _, _ := newTestEntity(t, 2)
+	// Pile load on one processor by placing heavy queries while the
+	// other stays idle: PlaceQuery picks least-loaded, so alternate —
+	// instead force imbalance by weighting.
+	heavy := filterSpec("big", 0, 1000)
+	heavy.Load = 100
+	if err := e.PlaceQuery(heavy, 1); err != nil {
+		t.Fatal(err)
+	}
+	light := filterSpec("small", 0, 1000)
+	light.Load = 1
+	if err := e.PlaceQuery(light, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Queries landed on different procs (least-loaded rule): imbalance
+	// is high but moving cannot help the big one; the lightest query on
+	// the hot proc is "big" itself.
+	moved, err := e.RebalanceOnce(1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("imbalanced entity did not move anything")
+	}
+	// After the move the query still exists.
+	if _, ok := e.QueryPlacement("big"); !ok {
+		t.Fatal("big query lost in rebalance")
+	}
+	// Balanced entity: no move.
+	e2, _, _ := newTestEntity(t, 2)
+	a := filterSpec("a", 0, 1)
+	a.Load = 5
+	b := filterSpec("b", 0, 1)
+	b.Load = 5
+	if err := e2.PlaceQuery(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.PlaceQuery(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	moved, err = e2.RebalanceOnce(1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved {
+		t.Fatal("balanced entity moved a query")
+	}
+}
+
+func TestPlaceQueryAdaptiveCorrectness(t *testing.T) {
+	e, net, log := newTestEntity(t, 3)
+	spec := engine.QuerySpec{
+		ID:     "qa",
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: 0, Hi: 100, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 10, Cost: 1},
+			{KeyField: "symbol", Keys: []string{"ibm"}, Cost: 1},
+		},
+	}
+	if err := e.PlaceQueryAdaptive(spec, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Replicated placement: 1 + 2 + 1 = 4 registrations.
+	placement, ok := e.QueryPlacement("qa")
+	if !ok || len(placement) != 4 {
+		t.Fatalf("placement = %v", placement)
+	}
+	for i := 0; i < 30; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 50, 5)) // passes everything
+	}
+	e.Ingest(quote(99, "ibm", 50, 500)) // fails volume in the middle stage
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	if got := log.count("qa"); got != 30 {
+		t.Fatalf("results = %d, want exactly 30 (no duplication, no loss)", got)
+	}
+	// Removal cleans up every replica.
+	if _, err := e.RemoveQuery("qa"); err != nil {
+		t.Fatal(err)
+	}
+	e.Ingest(quote(200, "ibm", 50, 5))
+	net.Quiesce(time.Second)
+	if got := log.count("qa"); got != 30 {
+		t.Fatalf("results after removal = %d", got)
+	}
+}
+
+func TestPlaceQueryAdaptiveAvoidsLoadedReplica(t *testing.T) {
+	e, net, log := newTestEntity(t, 3)
+	spec := engine.QuerySpec{
+		ID:     "qa",
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: 0, Hi: 1000, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 1000, Cost: 1},
+			{KeyField: "symbol", Keys: []string{"ibm", "msft", "goog"}, Cost: 1},
+		},
+	}
+	if err := e.PlaceQueryAdaptive(spec, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	placement, _ := e.QueryPlacement("qa")
+	// Flattened layout: [frag0, frag1-replicaA, frag1-replicaB, frag2].
+	replicaA, replicaB := placement[1], placement[2]
+	// Load replica A's processor with heavy dummy queries.
+	for i := 0; i < 5; i++ {
+		dummy := filterSpec(fmt.Sprintf("heavy%d", i), 0, 1)
+		dummy.Load = 50
+		// Place directly on replica A's engine to weigh it down.
+		if err := e.procs[replicaA].eng.Register(dummy, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		e.Ingest(quote(uint64(i), "ibm", 50, 5))
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce")
+	}
+	if got := log.count("qa"); got != 200 {
+		t.Fatalf("results = %d, want 200", got)
+	}
+	// The middle fragment ran mostly on the light replica.
+	miniA := e.procs[replicaA].eng.(*engine.MiniEngine)
+	miniB := e.procs[replicaB].eng.(*engine.MiniEngine)
+	servedA := miniA.Results("qa#1")
+	servedB := miniB.Results("qa#1")
+	if servedA+servedB != 200 {
+		t.Fatalf("replica results %d+%d != 200", servedA, servedB)
+	}
+	if servedB <= servedA*3 {
+		t.Errorf("adaptive routing did not avoid the loaded replica: A=%d B=%d", servedA, servedB)
+	}
+}

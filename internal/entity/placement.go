@@ -1,0 +1,385 @@
+// Package entity implements the paper's intra-entity layer (Section 4):
+// a cluster of processors under one administration. It provides
+//
+//   - stream delegation (Figure 3): each incoming stream is owned by one
+//     delegation processor that routes it inside the cluster and relays
+//     it to child entities, so no single node receives everything;
+//   - dynamic operator placement (Section 4.1): queries are split into
+//     fragments placed on processors to minimize the worst Performance
+//     Ratio PR = delay/processing-time, under the paper's three
+//     heuristics — balance load, bound each query's spread by a
+//     distribution limit, and minimize communication traffic;
+//   - the Adaptation Module (Section 4.2): a platform-independent layer
+//     that observes operator selectivities and re-orders commutable
+//     operators (and the routing between candidate downstream
+//     processors) at runtime.
+package entity
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Proc describes one processor of the entity's cluster in the placement
+// model. Capacity is in abstract cost-units per second.
+type Proc struct {
+	ID       string
+	Capacity float64
+}
+
+// FragmentSpec is one pipeline stage of a query in the placement model.
+type FragmentSpec struct {
+	// Cost is the per-tuple processing cost in abstract units.
+	Cost float64
+	// Selectivity is outputs per input for this stage.
+	Selectivity float64
+}
+
+// PlacementQuery describes one query to place: an ordered pipeline of
+// fragments fed by a stream of InputRate tuples/second.
+type PlacementQuery struct {
+	ID string
+	// Fragments in pipeline order; fragment i feeds fragment i+1.
+	Fragments []FragmentSpec
+	// InputRate is the arrival rate at fragment 0, tuples/second.
+	InputRate float64
+	// TupleSize is the average tuple size in bytes, for traffic
+	// accounting.
+	TupleSize float64
+	// DistributionLimit bounds the number of distinct processors the
+	// query's fragments may occupy (the paper's second heuristic);
+	// 0 means unlimited.
+	DistributionLimit int
+}
+
+// rateInto returns the tuple rate entering fragment i.
+func (q PlacementQuery) rateInto(i int) float64 {
+	rate := q.InputRate
+	for j := 0; j < i; j++ {
+		rate *= q.Fragments[j].Selectivity
+	}
+	return rate
+}
+
+// loadOf returns the processing load (cost-units/second) fragment i
+// imposes on its processor.
+func (q PlacementQuery) loadOf(i int) float64 {
+	return q.rateInto(i) * q.Fragments[i].Cost
+}
+
+// TotalLoad returns the query's total processing load.
+func (q PlacementQuery) TotalLoad() float64 {
+	sum := 0.0
+	for i := range q.Fragments {
+		sum += q.loadOf(i)
+	}
+	return sum
+}
+
+// Validate checks the query is well-formed.
+func (q PlacementQuery) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("entity: placement query needs an ID")
+	}
+	if len(q.Fragments) == 0 {
+		return fmt.Errorf("entity: query %s has no fragments", q.ID)
+	}
+	if q.InputRate <= 0 {
+		return fmt.Errorf("entity: query %s needs a positive input rate", q.ID)
+	}
+	for i, f := range q.Fragments {
+		if f.Cost <= 0 {
+			return fmt.Errorf("entity: query %s fragment %d needs positive cost", q.ID, i)
+		}
+		if f.Selectivity < 0 {
+			return fmt.Errorf("entity: query %s fragment %d has negative selectivity", q.ID, i)
+		}
+	}
+	return nil
+}
+
+// Assignment maps (queryID, fragment index) to a processor ID.
+type Assignment map[FragmentRef]string
+
+// FragmentRef addresses one fragment of one query.
+type FragmentRef struct {
+	Query    string
+	Fragment int
+}
+
+// Placer computes fragment assignments.
+type Placer interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Place assigns every fragment of every query to a processor.
+	Place(procs []Proc, queries []PlacementQuery) (Assignment, error)
+}
+
+func validateInputs(procs []Proc, queries []PlacementQuery) error {
+	if len(procs) == 0 {
+		return fmt.Errorf("entity: no processors")
+	}
+	seen := make(map[string]bool, len(procs))
+	for _, p := range procs {
+		if p.ID == "" || p.Capacity <= 0 {
+			return fmt.Errorf("entity: processor %q needs an ID and positive capacity", p.ID)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("entity: duplicate processor %q", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	qseen := make(map[string]bool, len(queries))
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if qseen[q.ID] {
+			return fmt.Errorf("entity: duplicate query %q", q.ID)
+		}
+		qseen[q.ID] = true
+	}
+	return nil
+}
+
+// PRPlacer implements the paper's placement heuristics: process queries
+// heaviest first; give each query a working set of at most
+// DistributionLimit processors chosen least-loaded; within the set,
+// assign fragments contiguously (adjacent fragments colocate unless the
+// current processor is saturated), which bounds per-query network hops
+// and minimizes traffic; then run a PR-driven local improvement pass.
+type PRPlacer struct {
+	// ImproveRounds bounds the local-improvement passes (default 4).
+	ImproveRounds int
+	// Net is the network latency model used when evaluating moves
+	// (zero value = DefaultNetwork).
+	Net Network
+}
+
+// Name implements Placer.
+func (PRPlacer) Name() string { return "pr-aware" }
+
+// Place implements Placer.
+func (p PRPlacer) Place(procs []Proc, queries []PlacementQuery) (Assignment, error) {
+	if err := validateInputs(procs, queries); err != nil {
+		return nil, err
+	}
+	rounds := p.ImproveRounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+	net := p.Net.normalized()
+
+	ordered := make([]PlacementQuery, len(queries))
+	copy(ordered, queries)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		li, lj := ordered[i].TotalLoad(), ordered[j].TotalLoad()
+		if li != lj {
+			return li > lj
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	asg := make(Assignment)
+	load := make(map[string]float64, len(procs))
+	capacity := make(map[string]float64, len(procs))
+	totalLoad := 0.0
+	totalCap := 0.0
+	for _, pr := range procs {
+		capacity[pr.ID] = pr.Capacity
+		totalCap += pr.Capacity
+	}
+	for _, q := range ordered {
+		totalLoad += q.TotalLoad()
+	}
+	targetUtil := totalLoad / totalCap // ideal uniform utilization
+
+	for _, q := range ordered {
+		limit := q.DistributionLimit
+		if limit <= 0 || limit > len(procs) {
+			limit = len(procs)
+		}
+		used := make([]string, 0, limit)
+		cur := leastUtilized(procs, load, capacity, nil)
+		used = append(used, cur)
+		for i := range q.Fragments {
+			fl := q.loadOf(i)
+			// Open a new processor when the current one would exceed
+			// the utilization target (with slack) and the limit allows.
+			if (load[cur]+fl)/capacity[cur] > targetUtil*1.1+1e-12 && len(used) < limit {
+				next := leastUtilized(procs, load, capacity, used)
+				if next != "" && (load[next]+fl)/capacity[next] < (load[cur]+fl)/capacity[cur] {
+					cur = next
+					used = append(used, cur)
+				}
+			}
+			asg[FragmentRef{q.ID, i}] = cur
+			load[cur] += fl
+		}
+	}
+
+	improvePR(procs, queries, asg, net, rounds)
+	return asg, nil
+}
+
+// leastUtilized returns the processor with the lowest load/capacity not
+// in exclude; exclude == nil means consider all.
+func leastUtilized(procs []Proc, load, capacity map[string]float64, exclude []string) string {
+	ex := make(map[string]bool, len(exclude))
+	for _, id := range exclude {
+		ex[id] = true
+	}
+	best := ""
+	bestU := 0.0
+	for _, p := range procs {
+		if ex[p.ID] {
+			continue
+		}
+		u := load[p.ID] / capacity[p.ID]
+		if best == "" || u < bestU || (u == bestU && p.ID < best) {
+			best, bestU = p.ID, u
+		}
+	}
+	return best
+}
+
+// improvePR hill-climbs: repeatedly try moving one fragment of a query
+// on the PR-max path to another processor allowed by the distribution
+// limit, accepting moves that reduce PRmax (ties broken by traffic).
+func improvePR(procs []Proc, queries []PlacementQuery, asg Assignment, net Network, rounds int) {
+	byID := make(map[string]PlacementQuery, len(queries))
+	for _, q := range queries {
+		byID[q.ID] = q
+	}
+	for round := 0; round < rounds; round++ {
+		ev := Evaluate(procs, queries, asg, net)
+		improved := false
+		// Focus on the worst query.
+		worst := ev.WorstQuery
+		if worst == "" {
+			return
+		}
+		q := byID[worst]
+		limit := q.DistributionLimit
+		if limit <= 0 || limit > len(procs) {
+			limit = len(procs)
+		}
+		for i := range q.Fragments {
+			ref := FragmentRef{q.ID, i}
+			origin := asg[ref]
+			bestProc := origin
+			bestPR := ev.PRMax
+			bestTraffic := ev.TrafficBytes
+			for _, p := range procs {
+				if p.ID == origin {
+					continue
+				}
+				asg[ref] = p.ID
+				if spreadOf(q, asg) > limit {
+					continue
+				}
+				cand := Evaluate(procs, queries, asg, net)
+				if cand.PRMax < bestPR-1e-12 ||
+					(cand.PRMax <= bestPR+1e-12 && cand.TrafficBytes < bestTraffic) {
+					bestProc, bestPR, bestTraffic = p.ID, cand.PRMax, cand.TrafficBytes
+				}
+			}
+			asg[ref] = bestProc
+			if bestProc != origin {
+				improved = true
+				ev = Evaluate(procs, queries, asg, net)
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// spreadOf counts distinct processors used by a query under asg.
+func spreadOf(q PlacementQuery, asg Assignment) int {
+	set := make(map[string]bool, len(q.Fragments))
+	for i := range q.Fragments {
+		set[asg[FragmentRef{q.ID, i}]] = true
+	}
+	return len(set)
+}
+
+// RandomPlacer scatters fragments uniformly at random (seeded for
+// reproducibility) — the no-information baseline.
+type RandomPlacer struct {
+	Seed int64
+}
+
+// Name implements Placer.
+func (RandomPlacer) Name() string { return "random" }
+
+// Place implements Placer.
+func (r RandomPlacer) Place(procs []Proc, queries []PlacementQuery) (Assignment, error) {
+	if err := validateInputs(procs, queries); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	asg := make(Assignment)
+	for _, q := range queries {
+		for i := range q.Fragments {
+			asg[FragmentRef{q.ID, i}] = procs[rng.Intn(len(procs))].ID
+		}
+	}
+	return asg, nil
+}
+
+// RoundRobinPlacer deals fragments across processors in order — spreads
+// load blindly and maximizes inter-fragment traffic (every hop crosses
+// the network).
+type RoundRobinPlacer struct{}
+
+// Name implements Placer.
+func (RoundRobinPlacer) Name() string { return "round-robin" }
+
+// Place implements Placer.
+func (RoundRobinPlacer) Place(procs []Proc, queries []PlacementQuery) (Assignment, error) {
+	if err := validateInputs(procs, queries); err != nil {
+		return nil, err
+	}
+	n := 0
+	asg := make(Assignment)
+	for _, q := range queries {
+		for i := range q.Fragments {
+			asg[FragmentRef{q.ID, i}] = procs[n%len(procs)].ID
+			n++
+		}
+	}
+	return asg, nil
+}
+
+// LoadOnlyPlacer assigns every fragment to the least-utilized processor
+// at that moment, ignoring the distribution limit and traffic — the
+// Flux/Borealis-style partitioning view of the problem the paper argues
+// is insufficient here.
+type LoadOnlyPlacer struct{}
+
+// Name implements Placer.
+func (LoadOnlyPlacer) Name() string { return "load-only" }
+
+// Place implements Placer.
+func (LoadOnlyPlacer) Place(procs []Proc, queries []PlacementQuery) (Assignment, error) {
+	if err := validateInputs(procs, queries); err != nil {
+		return nil, err
+	}
+	asg := make(Assignment)
+	load := make(map[string]float64, len(procs))
+	capacity := make(map[string]float64, len(procs))
+	for _, p := range procs {
+		capacity[p.ID] = p.Capacity
+	}
+	for _, q := range queries {
+		for i := range q.Fragments {
+			id := leastUtilized(procs, load, capacity, nil)
+			asg[FragmentRef{q.ID, i}] = id
+			load[id] += q.loadOf(i)
+		}
+	}
+	return asg, nil
+}

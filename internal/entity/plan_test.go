@@ -1,0 +1,142 @@
+package entity
+
+import (
+	"testing"
+
+	"sspd/internal/engine"
+	"sspd/internal/workload"
+)
+
+func planRates() map[string]StreamRateHint {
+	return map[string]StreamRateHint{
+		"quotes": {TuplesPerSec: 1000, BytesPerTuple: 60},
+		"trades": {TuplesPerSec: 500, BytesPerTuple: 40},
+	}
+}
+
+func TestPlacementModelFromSpecs(t *testing.T) {
+	catalog := workload.Catalog(100, 10)
+	specs := []engine.QuerySpec{
+		{
+			ID:     "narrow",
+			Source: "quotes",
+			Filters: []engine.FilterSpec{
+				{Field: "price", Lo: 0, Hi: 100, Cost: 2},              // 10% of domain
+				{KeyField: "symbol", Keys: []string{"S0001"}, Cost: 1}, // 1%
+			},
+		},
+		{
+			ID:     "wide",
+			Source: "quotes",
+			Filters: []engine.FilterSpec{
+				{Field: "price", Lo: 0, Hi: 1000, Cost: 1},
+			},
+		},
+	}
+	queries, err := PlacementModel(specs, catalog, planRates(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	// Sorted by ID: narrow first.
+	narrow, wide := queries[0], queries[1]
+	if narrow.ID != "narrow" || wide.ID != "wide" {
+		t.Fatalf("order = %s,%s", narrow.ID, wide.ID)
+	}
+	// The narrow query's input rate reflects early filtering: ~0.1% of
+	// 1000 t/s; the wide one gets the full stream.
+	if narrow.InputRate >= wide.InputRate {
+		t.Errorf("narrow rate %v not below wide %v", narrow.InputRate, wide.InputRate)
+	}
+	if wide.InputRate != 1000 {
+		t.Errorf("wide rate = %v, want 1000", wide.InputRate)
+	}
+	// Two filters split into two fragments.
+	if len(narrow.Fragments) != 2 {
+		t.Fatalf("narrow fragments = %d", len(narrow.Fragments))
+	}
+	if narrow.DistributionLimit != 2 {
+		t.Errorf("limit = %d", narrow.DistributionLimit)
+	}
+	// Costs carried through.
+	if narrow.Fragments[0].Cost != 2 || narrow.Fragments[1].Cost != 1 {
+		t.Errorf("fragment costs = %+v", narrow.Fragments)
+	}
+	// The single-filter query cannot split.
+	if len(wide.Fragments) != 1 {
+		t.Errorf("wide fragments = %d", len(wide.Fragments))
+	}
+}
+
+func TestPlacementModelErrors(t *testing.T) {
+	catalog := workload.Catalog(10, 10)
+	good := engine.QuerySpec{ID: "q", Source: "quotes",
+		Filters: []engine.FilterSpec{{Field: "price", Lo: 0, Hi: 1}}}
+	if _, err := PlacementModel([]engine.QuerySpec{{ID: ""}}, catalog, planRates(), 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	bad := good
+	bad.Source = "nostream"
+	if _, err := PlacementModel([]engine.QuerySpec{bad}, catalog, planRates(), 1); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if _, err := PlacementModel([]engine.QuerySpec{good}, catalog, nil, 1); err == nil {
+		t.Error("missing rate hint accepted")
+	}
+}
+
+func TestPlanPlacementEndToEnd(t *testing.T) {
+	catalog := workload.Catalog(200, 10)
+	tick := workload.NewTicker(7, 200, 1.3)
+	gen := workload.NewQueryGen(7, tick.Symbols(), 4, 0.3)
+	specs := gen.Specs(30)
+	procs := mkProcs(4, 1e5)
+	asg, ev, err := PlanPlacement(specs, catalog, planRates(), procs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fragment of every (split) query is assigned.
+	for _, spec := range specs {
+		frags := SplitSpec(spec, 2)
+		for i := range frags {
+			if _, ok := asg[FragmentRef{spec.ID, i}]; !ok {
+				t.Fatalf("fragment %s#%d unassigned", spec.ID, i)
+			}
+		}
+	}
+	if !ev.Feasible {
+		t.Errorf("plan infeasible: maxUtil=%v", ev.MaxUtilization)
+	}
+	if ev.PRMax <= 0 {
+		t.Errorf("PRMax = %v", ev.PRMax)
+	}
+	// Bad input propagates.
+	if _, _, err := PlanPlacement(specs, catalog, nil, procs, 2); err == nil {
+		t.Error("missing rates accepted")
+	}
+	if _, _, err := PlanPlacement(specs, catalog, planRates(), nil, 2); err == nil {
+		t.Error("no processors accepted")
+	}
+}
+
+func TestFilterSelectivityEstimates(t *testing.T) {
+	catalog := workload.Catalog(100, 10)
+	sc, _ := catalog.Lookup("quotes")
+	cases := []struct {
+		f    engine.FilterSpec
+		want float64
+	}{
+		{engine.FilterSpec{Field: "price", Lo: 0, Hi: 100}, 0.1},
+		{engine.FilterSpec{Field: "price", Lo: 0, Hi: 1000}, 1.0},
+		{engine.FilterSpec{KeyField: "symbol", Keys: []string{"a", "b"}}, 0.02},
+		{engine.FilterSpec{Field: "nodomain"}, 1.0}, // unknown field: neutral
+	}
+	for i, c := range cases {
+		got := filterSelectivity(c.f, sc)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("case %d: selectivity = %v, want %v", i, got, c.want)
+		}
+	}
+}

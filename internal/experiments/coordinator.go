@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sspd/internal/coordinator"
+	"sspd/internal/simnet"
+)
+
+// E3CoordinatorTree measures query-distribution scalability: per-query
+// coordinator work and join cost under the hierarchical tree versus a
+// flat central coordinator, across federation sizes, plus behaviour
+// under churn.
+func E3CoordinatorTree() Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "Sec 3.2.1 — coordinator tree vs flat coordinator",
+		Columns: []string{"entities", "k", "height", "avg join hops", "tree work/query", "flat work/query"},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{50, 200, 800} {
+		for _, k := range []int{3, 5} {
+			tree := coordinator.NewTree(k)
+			flat := coordinator.NewFlat()
+			joinHops := 0
+			for i := 0; i < n; i++ {
+				id := coordinator.MemberID(fmt.Sprintf("m%04d", i))
+				at := simnet.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				hops, err := tree.Join(id, at)
+				if err != nil {
+					panic(err)
+				}
+				joinHops += hops
+				if err := flat.Join(id, at); err != nil {
+					panic(err)
+				}
+			}
+			loads := make(map[coordinator.MemberID]float64)
+			loadFn := func(m coordinator.MemberID) float64 { return loads[m] }
+			const queries = 200
+			treeWork, flatWork := 0, 0
+			for q := 0; q < queries; q++ {
+				origin := simnet.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				target, w, err := tree.RouteQuery(origin, loadFn)
+				if err != nil {
+					panic(err)
+				}
+				treeWork += w
+				loads[target]++
+				_, fw, err := flat.RouteQuery(origin, loadFn)
+				if err != nil {
+					panic(err)
+				}
+				flatWork += fw
+			}
+			_, height := tree.Root()
+			t.Rows = append(t.Rows, []string{
+				d(int64(n)), d(int64(k)), d(int64(height)),
+				f(float64(joinHops) / float64(n)),
+				f(float64(treeWork) / queries),
+				f(float64(flatWork) / queries),
+			})
+		}
+	}
+	// Churn resilience: 30% of a 200-member tree leaves or fails.
+	tree := coordinator.NewTree(3)
+	var members []coordinator.MemberID
+	for i := 0; i < 200; i++ {
+		id := coordinator.MemberID(fmt.Sprintf("c%04d", i))
+		if _, err := tree.Join(id, simnet.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}); err != nil {
+			panic(err)
+		}
+		members = append(members, id)
+	}
+	for i := 0; i < 60; i++ {
+		if err := tree.Fail(members[i*3]); err != nil {
+			panic(err)
+		}
+	}
+	recenters := tree.Recenter()
+	if _, _, err := tree.RouteQuery(simnet.Point{X: 50, Y: 50},
+		func(coordinator.MemberID) float64 { return 0 }); err != nil {
+		panic(err)
+	}
+	t.Notes = append(t.Notes,
+		"tree work per query stays O(k·height) while flat work grows linearly with N",
+		fmt.Sprintf("churn check: 60 of 200 members failed, tree still routes; recenter adjusted %d clusters", recenters))
+	return t
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sspd/internal/dissemination"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+func quotesSchema() *stream.Schema {
+	return stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 100},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 1000},
+	)
+}
+
+func uniformQuote(i int) stream.Tuple {
+	return stream.NewTuple("quotes", uint64(i), time.Unix(int64(i), 0).UTC(),
+		stream.String(fmt.Sprintf("S%02d", i%100)),
+		stream.Float(float64(i%1000)))
+}
+
+// runDissemination wires a tree of relays with the given per-entity
+// interest, publishes tuples, and returns traffic plus structure stats.
+func runDissemination(n int, strategy dissemination.Strategy, fanout int,
+	interest func(i int) stream.Interest, tuples int) (srcEgress, total int64, maxDepth int) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	sc := quotesSchema()
+	members := make([]dissemination.Member, 0, n)
+	for i := 0; i < n; i++ {
+		members = append(members, dissemination.Member{
+			ID:  simnet.NodeID(fmt.Sprintf("e%03d", i)),
+			Pos: simnet.Point{X: float64(i%10) * 10, Y: float64(i/10) * 10},
+		})
+	}
+	src := dissemination.Member{ID: "src", Pos: simnet.Point{X: 45, Y: 45}}
+	tree, err := dissemination.Build("quotes", src, members, strategy, fanout)
+	if err != nil {
+		panic(err)
+	}
+	source, err := dissemination.NewRelay(tree, "src", sc, net, nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	relays := make([]*dissemination.Relay, 0, len(members))
+	for _, m := range members {
+		relay, err := dissemination.NewRelay(tree, m.ID, sc, net, func(stream.Tuple) {}, 0)
+		if err != nil {
+			panic(err)
+		}
+		relays = append(relays, relay)
+	}
+	for i, relay := range relays {
+		if err := relay.SetLocalInterest([]stream.Interest{interest(i)}); err != nil {
+			panic(err)
+		}
+	}
+	if !net.Quiesce(30 * time.Second) {
+		panic("dissemination experiment did not quiesce after registration")
+	}
+	net.Traffic().Reset()
+	var batch stream.Batch
+	for i := 0; i < tuples; i++ {
+		batch = append(batch, uniformQuote(i))
+		if len(batch) == 100 {
+			if err := source.Publish(batch); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := source.Publish(batch); err != nil {
+			panic(err)
+		}
+	}
+	if !net.Quiesce(30 * time.Second) {
+		panic("dissemination experiment did not quiesce after publishing")
+	}
+	tr := net.Traffic()
+	return tr.EgressBytes("src"), tr.TotalBytes(), tree.MaxDepth()
+}
+
+// E1DisseminationScalability sweeps federation size across tree shapes:
+// source-direct egress grows with N while tree egress stays capped by
+// the fanout (Section 3.1's scalability argument).
+func E1DisseminationScalability() Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "Sec 3.1 — dissemination scalability: source egress vs #entities",
+		Columns: []string{"entities", "strategy", "src egress B", "total B", "depth"},
+	}
+	broad := func(int) stream.Interest { return stream.NewInterest("quotes") }
+	const tuples = 300
+	for _, n := range []int{4, 8, 16, 32} {
+		for _, strat := range []dissemination.Strategy{
+			dissemination.SourceDirect, dissemination.Balanced, dissemination.Locality,
+		} {
+			eg, total, depth := runDissemination(n, strat, 4, broad, tuples)
+			t.Rows = append(t.Rows, []string{
+				d(int64(n)), strat.String(), d(eg), d(total), d(int64(depth)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"source-direct egress grows linearly with N; tree strategies cap it at fanout×stream regardless of N")
+	return t
+}
+
+// E2EarlyFiltering sweeps interest selectivity: bytes on the wire track
+// the fraction of the stream the subtrees actually want.
+func E2EarlyFiltering() Table {
+	t := Table{
+		ID:      "E2",
+		Title:   "Sec 3.1 — early filtering: bytes vs interest selectivity",
+		Columns: []string{"selectivity", "total B (filtered)", "total B (no filter)", "saved %"},
+	}
+	const n, tuples = 16, 500
+	_, baseline, _ := runDissemination(n, dissemination.Balanced, 2,
+		func(int) stream.Interest { return stream.NewInterest("quotes") }, tuples)
+	for _, sel := range []float64{0.01, 0.1, 0.5, 1.0} {
+		interest := func(int) stream.Interest {
+			return stream.NewInterest("quotes").WithRange("price", 0, sel*1000)
+		}
+		_, filtered, _ := runDissemination(n, dissemination.Balanced, 2, interest, tuples)
+		saved := 100 * (1 - float64(filtered)/float64(baseline))
+		t.Rows = append(t.Rows, []string{
+			f(sel), d(filtered), d(baseline), f(saved),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"savings scale with (1 - selectivity): ancestors drop tuples no descendant registered interest in")
+	return t
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sspd/internal/querygraph"
+)
+
+// clusteredGraph builds a query graph with community structure: heavy
+// intra-community edges (shared data interest), light cross-community
+// edges — the structure the workload generators produce.
+func clusteredGraph(rng *rand.Rand, n, communities int) *querygraph.Graph {
+	g := querygraph.New()
+	cluster := make(map[querygraph.VertexID]int, n)
+	for i := 0; i < n; i++ {
+		id := querygraph.VertexID(fmt.Sprintf("q%03d", i))
+		g.AddVertex(id, 1+rng.Float64()*9)
+		cluster[id] = i % communities
+	}
+	vs := g.Vertices()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := vs[i], vs[j]
+			if cluster[a] == cluster[b] {
+				if rng.Float64() < 0.5 {
+					if err := g.SetEdge(a, b, 1+rng.Float64()*9); err != nil {
+						panic(err)
+					}
+				}
+			} else if rng.Float64() < 0.05 {
+				if err := g.SetEdge(a, b, rng.Float64()); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// driftGraph perturbs the graph like a live workload: load changes, 20%
+// departures, 20% arrivals joining existing neighborhoods.
+func driftGraph(rng *rand.Rand, g *querygraph.Graph, round int) {
+	vs := g.Vertices()
+	for _, v := range vs {
+		if rng.Float64() < 0.3 {
+			g.SetVertexWeight(v, 1+rng.Float64()*9)
+		}
+	}
+	for _, v := range vs {
+		if rng.Float64() < 0.2 {
+			g.RemoveVertex(v)
+		}
+	}
+	cur := g.Vertices()
+	n := len(vs) / 5
+	for i := 0; i <= n; i++ {
+		id := querygraph.VertexID(fmt.Sprintf("new%03d-%d", round, i))
+		g.AddVertex(id, 1+rng.Float64()*9)
+		if len(cur) == 0 {
+			continue
+		}
+		anchor := cur[rng.Intn(len(cur))]
+		if err := g.SetEdge(id, anchor, 3+rng.Float64()*7); err != nil {
+			continue
+		}
+		g.Neighbors(anchor, func(nb querygraph.VertexID, w float64) {
+			if nb != id && rng.Float64() < 0.5 {
+				_ = g.SetEdge(id, nb, 1+rng.Float64()*5)
+			}
+		})
+	}
+}
+
+// E4LoadDistribution compares the paper's interest+load partitioner with
+// the two baselines it argues against: load-only (Flux/Borealis-style)
+// and similarity-only clustering.
+func E4LoadDistribution() Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "Sec 3.2.2 — load distribution: edge cut and balance by strategy",
+		Columns: []string{"graph", "strategy", "edge cut B/s", "imbalance"},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3; trial++ {
+		g := clusteredGraph(rng, 100, 8)
+		k := 8
+		label := fmt.Sprintf("n=100 c=8 #%d", trial+1)
+		ours, err := querygraph.Partition(g, querygraph.Options{K: k})
+		if err != nil {
+			panic(err)
+		}
+		multilevel, err := querygraph.PartitionMultilevel(g, querygraph.Options{K: k})
+		if err != nil {
+			panic(err)
+		}
+		loadOnly, err := querygraph.PartitionLoadOnly(g, k)
+		if err != nil {
+			panic(err)
+		}
+		simOnly, err := querygraph.PartitionSimilarityOnly(g, k)
+		if err != nil {
+			panic(err)
+		}
+		for _, row := range []struct {
+			name string
+			p    querygraph.Partitioning
+		}{
+			{"interest+load (ours)", ours},
+			{"multilevel (ours)", multilevel},
+			{"load-only", loadOnly},
+			{"similarity-only", simOnly},
+		} {
+			t.Rows = append(t.Rows, []string{
+				label, row.name,
+				f(g.EdgeCut(row.p)),
+				f(querygraph.Imbalance(g.PartitionWeights(row.p, k))),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"ours cuts far less than load-only at comparable balance; similarity-only cuts least but abandons balance (the paper's Q3/Q5 point)")
+	return t
+}
+
+// E5AdaptiveRepartitioning drives the three repartitioners through
+// workload drift and reports the paper's trade-off: cut quality vs
+// migrations vs decision effort.
+func E5AdaptiveRepartitioning() Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "Sec 3.2.2 — adaptive repartitioning under drift (6 rounds, k=6)",
+		Columns: []string{"strategy", "mean cut B/s", "migrations", "evaluations"},
+	}
+	const k, rounds = 6, 6
+	strategies := []querygraph.Repartitioner{
+		querygraph.ScratchRepartitioner{},
+		querygraph.HybridRepartitioner{},
+		querygraph.GreedyCutRepartitioner{},
+	}
+	for _, strat := range strategies {
+		rng := rand.New(rand.NewSource(29))
+		g := clusteredGraph(rng, 90, k)
+		assign, err := querygraph.Partition(g, querygraph.Options{K: k})
+		if err != nil {
+			panic(err)
+		}
+		var cutSum float64
+		var migrations, evals int
+		for round := 0; round < rounds; round++ {
+			driftGraph(rng, g, round)
+			res, err := strat.Repartition(g, assign, querygraph.Options{K: k})
+			if err != nil {
+				panic(err)
+			}
+			assign = res.Assignment
+			cutSum += g.EdgeCut(assign)
+			migrations += res.Migrations
+			evals += res.Evaluations
+		}
+		t.Rows = append(t.Rows, []string{
+			strat.Name(), f(cutSum / rounds), d(int64(migrations)), d(int64(evals)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"scratch: best cut, most movement and effort; greedycut: cheapest, worst cut; hybrid: between the extremes — the trade-off the paper calls for")
+	return t
+}

@@ -1,0 +1,201 @@
+package operator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sspd/internal/stream"
+)
+
+func quotesSchema(t testing.TB) *stream.Schema {
+	t.Helper()
+	return stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 100},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 1000},
+		stream.Field{Name: "volume", Type: stream.KindInt, Lo: 0, Hi: 1e6},
+	)
+}
+
+func quote(seq uint64, symbol string, price float64, volume int64) stream.Tuple {
+	return stream.NewTuple("quotes", seq, time.Unix(int64(seq), 0).UTC(),
+		stream.String(symbol), stream.Float(price), stream.Int(volume))
+}
+
+func TestFilterBasics(t *testing.T) {
+	s := quotesSchema(t)
+	f, err := NewFilter("f", s, func(tu stream.Tuple) bool {
+		return tu.Value(1).AsFloat() > 50
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "f" || f.Arity() != 1 || f.Cost() != 2 || f.OutSchema() != s {
+		t.Errorf("accessor mismatch: %s/%d/%v", f.Name(), f.Arity(), f.Cost())
+	}
+	out := f.Process(0, quote(1, "ibm", 90, 1))
+	if len(out) != 1 {
+		t.Fatalf("passing tuple produced %d outputs", len(out))
+	}
+	if out := f.Process(0, quote(2, "ibm", 10, 1)); out != nil {
+		t.Fatalf("failing tuple produced %v", out)
+	}
+	if f.Stats().In() != 2 || f.Stats().Out() != 1 {
+		t.Errorf("stats in/out = %d/%d", f.Stats().In(), f.Stats().Out())
+	}
+	if got := f.Stats().CumulativeSelectivity(); got != 0.5 {
+		t.Errorf("cumulative selectivity = %v", got)
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	s := quotesSchema(t)
+	if _, err := NewFilter("f", s, nil, 1); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := NewFilter("f", nil, func(stream.Tuple) bool { return true }, 1); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestFilterBadPortPanics(t *testing.T) {
+	s := quotesSchema(t)
+	f, _ := NewFilter("f", s, func(stream.Tuple) bool { return true }, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad port did not panic")
+		}
+	}()
+	f.Process(1, quote(1, "a", 1, 1))
+}
+
+func TestInterestFilter(t *testing.T) {
+	s := quotesSchema(t)
+	in := stream.NewInterest("quotes").WithRange("price", 0, 50)
+	f, err := NewInterestFilter("f", s, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f.Process(0, quote(1, "a", 25, 1)); len(out) != 1 {
+		t.Error("interest match filtered out")
+	}
+	if out := f.Process(0, quote(2, "a", 75, 1)); out != nil {
+		t.Error("interest non-match passed")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := quotesSchema(t)
+	p, err := NewProject("p", s, 1, "price", "symbol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Process(0, quote(1, "ibm", 90, 5))
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	got := out[0]
+	if len(got.Values) != 2 ||
+		got.Values[0].AsFloat() != 90 || got.Values[1].AsString() != "ibm" {
+		t.Fatalf("projected tuple = %v", got)
+	}
+	// Output stream keeps the input name so interests still apply.
+	if p.OutSchema().Name() != "quotes" {
+		t.Errorf("projected stream name = %q", p.OutSchema().Name())
+	}
+	if _, err := NewProject("p", s, 1, "missing"); err == nil {
+		t.Error("projecting missing field accepted")
+	}
+	if _, err := NewProject("p", nil, 1, "price"); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestMap(t *testing.T) {
+	s := quotesSchema(t)
+	double, err := NewMap("m", s, func(tu stream.Tuple) []stream.Tuple {
+		a := tu.Clone()
+		b := tu.Clone()
+		return []stream.Tuple{a, b}
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := double.Process(0, quote(1, "a", 1, 1))
+	if len(out) != 2 {
+		t.Fatalf("map fan-out = %d, want 2", len(out))
+	}
+	if got := double.Stats().Selectivity(); got != 2 {
+		t.Errorf("selectivity = %v, want 2", got)
+	}
+	if _, err := NewMap("m", s, nil, 1); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if _, err := NewMap("m", nil, func(stream.Tuple) []stream.Tuple { return nil }, 1); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := quotesSchema(t)
+	u, err := NewUnion("u", s, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Arity() != 3 {
+		t.Fatalf("arity = %d", u.Arity())
+	}
+	for port := 0; port < 3; port++ {
+		if out := u.Process(port, quote(uint64(port), "a", 1, 1)); len(out) != 1 {
+			t.Fatalf("port %d produced %d outputs", port, len(out))
+		}
+	}
+	if _, err := NewUnion("u", s, 0, 1); err == nil {
+		t.Error("zero-input union accepted")
+	}
+	if _, err := NewUnion("u", nil, 1, 1); err == nil {
+		t.Error("nil schema accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("union bad port did not panic")
+			}
+		}()
+		u.Process(3, quote(1, "a", 1, 1))
+	}()
+}
+
+func TestStatsDefaults(t *testing.T) {
+	st := newStats()
+	if st.Selectivity() != 1 {
+		t.Errorf("prior selectivity = %v, want 1", st.Selectivity())
+	}
+	if st.CumulativeSelectivity() != 1 {
+		t.Errorf("prior cumulative = %v, want 1", st.CumulativeSelectivity())
+	}
+}
+
+func TestStatsEWMATracksShift(t *testing.T) {
+	st := newStats()
+	for i := 0; i < 200; i++ {
+		st.record(1)
+	}
+	if got := st.Selectivity(); math.Abs(got-1) > 0.01 {
+		t.Fatalf("selectivity after all-pass = %v", got)
+	}
+	for i := 0; i < 200; i++ {
+		st.record(0)
+	}
+	if got := st.Selectivity(); got > 0.01 {
+		t.Fatalf("selectivity after shift = %v, want ~0", got)
+	}
+}
+
+func TestDefaultCost(t *testing.T) {
+	s := quotesSchema(t)
+	f, _ := NewFilter("f", s, func(stream.Tuple) bool { return true }, -5)
+	if f.Cost() != 1 {
+		t.Errorf("defaulted cost = %v, want 1", f.Cost())
+	}
+}

@@ -1,0 +1,169 @@
+package operator
+
+import (
+	"fmt"
+	"sort"
+
+	"sspd/internal/stream"
+)
+
+// Distinct suppresses duplicate tuples within a sliding window, keyed by
+// one field: a tuple passes iff no tuple with the same key is currently
+// in the window. Stock tickers use it to deduplicate bursts of identical
+// quotes.
+type Distinct struct {
+	base
+	keyIdx  int
+	win     *stream.Window
+	counts  map[string]int
+	scratch []stream.Tuple
+}
+
+// NewDistinct builds a windowed distinct on keyField.
+func NewDistinct(name string, in *stream.Schema, keyField string, spec stream.WindowSpec, cost float64) (*Distinct, error) {
+	if in == nil {
+		return nil, fmt.Errorf("operator %s: nil input schema", name)
+	}
+	idx, ok := in.FieldIndex(keyField)
+	if !ok {
+		return nil, fmt.Errorf("operator %s: schema %s has no field %q", name, in.Name(), keyField)
+	}
+	return &Distinct{
+		base:   newBase(name, 1, cost, in),
+		keyIdx: idx,
+		win:    stream.NewWindow(spec),
+		counts: make(map[string]int),
+	}, nil
+}
+
+// Process implements Operator.
+func (d *Distinct) Process(port int, t stream.Tuple) []stream.Tuple {
+	if port != 0 {
+		panic(badPort(d.name, port, 1))
+	}
+	key := t.Value(d.keyIdx).String()
+	d.scratch = d.win.PushCollect(t, d.scratch[:0])
+	for _, old := range d.scratch {
+		ok := old.Value(d.keyIdx).String()
+		d.counts[ok]--
+		if d.counts[ok] <= 0 {
+			delete(d.counts, ok)
+		}
+	}
+	seen := d.counts[key] > 0
+	d.counts[key]++
+	if seen {
+		d.stats.record(0)
+		return nil
+	}
+	d.stats.record(1)
+	return []stream.Tuple{t}
+}
+
+// TopK maintains the current top-k tuples by a numeric field over a
+// sliding window, grouped globally. For every input it emits the updated
+// rank of the input's key when the input enters the top k (otherwise
+// nothing) — the "leaders board" query of sports and financial tickers.
+type TopK struct {
+	base
+	k        int
+	valueIdx int
+	keyIdx   int
+	win      *stream.Window
+	scratch  []stream.Tuple
+}
+
+// NewTopK builds a top-k operator: rank keys by the maximum of
+// valueField within the window. Output schema: (key:string, value:float,
+// rank:int) on a stream named after the operator.
+func NewTopK(name string, in *stream.Schema, k int, valueField, keyField string,
+	spec stream.WindowSpec, cost float64) (*TopK, error) {
+	if in == nil {
+		return nil, fmt.Errorf("operator %s: nil input schema", name)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("operator %s: k must be >= 1", name)
+	}
+	vi, ok := in.FieldIndex(valueField)
+	if !ok {
+		return nil, fmt.Errorf("operator %s: schema %s has no field %q", name, in.Name(), valueField)
+	}
+	if in.Field(vi).Type == stream.KindString {
+		return nil, fmt.Errorf("operator %s: cannot rank by string field %q", name, valueField)
+	}
+	ki, ok := in.FieldIndex(keyField)
+	if !ok {
+		return nil, fmt.Errorf("operator %s: schema %s has no key field %q", name, in.Name(), keyField)
+	}
+	out, err := stream.NewSchema(name,
+		stream.Field{Name: "key", Type: stream.KindString},
+		stream.Field{Name: "value", Type: stream.KindFloat},
+		stream.Field{Name: "rank", Type: stream.KindInt},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{
+		base:     newBase(name, 1, cost, out),
+		k:        k,
+		valueIdx: vi,
+		keyIdx:   ki,
+		win:      stream.NewWindow(spec),
+	}, nil
+}
+
+// Process implements Operator.
+func (t *TopK) Process(port int, tu stream.Tuple) []stream.Tuple {
+	if port != 0 {
+		panic(badPort(t.name, port, 1))
+	}
+	t.scratch = t.win.PushCollect(tu, t.scratch[:0])
+	// Rank keys by their max value in the window.
+	best := make(map[string]float64)
+	t.win.Each(func(w stream.Tuple) bool {
+		k := w.Value(t.keyIdx).String()
+		v := w.Value(t.valueIdx).AsFloat()
+		if cur, ok := best[k]; !ok || v > cur {
+			best[k] = v
+		}
+		return true
+	})
+	type kv struct {
+		key string
+		val float64
+	}
+	ranked := make([]kv, 0, len(best))
+	for k, v := range best {
+		ranked = append(ranked, kv{k, v})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].val != ranked[j].val {
+			return ranked[i].val > ranked[j].val
+		}
+		return ranked[i].key < ranked[j].key
+	})
+	key := tu.Value(t.keyIdx).String()
+	for rank, r := range ranked {
+		if rank >= t.k {
+			break
+		}
+		if r.key == key {
+			t.stats.record(1)
+			return []stream.Tuple{{
+				Stream: t.name,
+				Seq:    tu.Seq,
+				Ts:     tu.Ts,
+				Values: []stream.Value{
+					stream.String(r.key),
+					stream.Float(r.val),
+					stream.Int(int64(rank + 1)),
+				},
+			}}
+		}
+	}
+	t.stats.record(0)
+	return nil
+}
+
+// WindowLen reports the number of tuples currently held.
+func (t *TopK) WindowLen() int { return t.win.Len() }

@@ -1,0 +1,194 @@
+package operator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sspd/internal/stream"
+)
+
+func TestDistinctSuppressesDuplicates(t *testing.T) {
+	s := quotesSchema(t)
+	d, err := NewDistinct("d", s, "symbol", stream.CountWindow(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := d.Process(0, quote(1, "ibm", 1, 1)); len(out) != 1 {
+		t.Fatal("first occurrence suppressed")
+	}
+	if out := d.Process(0, quote(2, "ibm", 2, 1)); out != nil {
+		t.Fatal("duplicate passed")
+	}
+	if out := d.Process(0, quote(3, "msft", 3, 1)); len(out) != 1 {
+		t.Fatal("new key suppressed")
+	}
+	// Window slides: pushing a 4th tuple evicts seq 1 (count window 3);
+	// "ibm" still present via seq 2 -> suppressed.
+	if out := d.Process(0, quote(4, "ibm", 4, 1)); out != nil {
+		t.Fatal("still-windowed duplicate passed")
+	}
+	// Now 2 and 3 evict; ibm remains only via seq 4 -> goog is new.
+	d.Process(0, quote(5, "goog", 5, 1))
+	d.Process(0, quote(6, "aapl", 6, 1))
+	// ibm's last occurrence (seq 4) is now evicted -> passes again.
+	if out := d.Process(0, quote(7, "ibm", 7, 1)); len(out) != 1 {
+		t.Fatal("re-arrival after eviction suppressed")
+	}
+}
+
+func TestDistinctErrors(t *testing.T) {
+	s := quotesSchema(t)
+	if _, err := NewDistinct("d", nil, "symbol", stream.CountWindow(1), 1); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewDistinct("d", s, "nope", stream.CountWindow(1), 1); err == nil {
+		t.Error("missing field accepted")
+	}
+	d, _ := NewDistinct("d", s, "symbol", stream.CountWindow(1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad port did not panic")
+		}
+	}()
+	d.Process(1, quote(1, "a", 1, 1))
+}
+
+// Property: a tuple passes iff its key is absent from the previous
+// capacity-1 tuples (the new tuple enters the window first, evicting the
+// oldest, before the duplicate check).
+func TestDistinctWindowProperty(t *testing.T) {
+	s := quotesSchema(t)
+	syms := []string{"a", "b", "c"}
+	const capacity = 4
+	f := func(picks []uint8) bool {
+		d, err := NewDistinct("d", s, "symbol", stream.CountWindow(capacity), 1)
+		if err != nil {
+			return false
+		}
+		var prev []string // all prior symbols, newest last
+		for i, p := range picks {
+			sym := syms[int(p)%len(syms)]
+			out := d.Process(0, quote(uint64(i), sym, 1, 1))
+			inWindow := false
+			start := len(prev) - (capacity - 1)
+			if start < 0 {
+				start = 0
+			}
+			for _, w := range prev[start:] {
+				if w == sym {
+					inWindow = true
+					break
+				}
+			}
+			if inWindow && len(out) != 0 {
+				return false
+			}
+			if !inWindow && len(out) != 1 {
+				return false
+			}
+			prev = append(prev, sym)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKRanksAndEmits(t *testing.T) {
+	s := quotesSchema(t)
+	tk, err := NewTopK("top", s, 2, "price", "symbol", stream.CountWindow(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First tuple is trivially rank 1.
+	out := tk.Process(0, quote(1, "ibm", 100, 1))
+	if len(out) != 1 || out[0].Values[2].AsInt() != 1 {
+		t.Fatalf("first = %v", out)
+	}
+	// Higher price takes rank 1.
+	out = tk.Process(0, quote(2, "msft", 200, 1))
+	if len(out) != 1 || out[0].Values[2].AsInt() != 1 || out[0].Values[0].AsString() != "msft" {
+		t.Fatalf("msft = %v", out)
+	}
+	// ibm is now rank 2 (still top-2).
+	out = tk.Process(0, quote(3, "ibm", 90, 1))
+	if len(out) != 1 || out[0].Values[2].AsInt() != 2 {
+		t.Fatalf("ibm rank = %v", out)
+	}
+	// ibm's max within the window is still 100.
+	if out[0].Values[1].AsFloat() != 100 {
+		t.Fatalf("ibm max = %v", out[0].Values[1])
+	}
+	// A third key below the top 2 emits nothing.
+	if out := tk.Process(0, quote(4, "goog", 50, 1)); out != nil {
+		t.Fatalf("out-of-topk emitted %v", out)
+	}
+	if tk.WindowLen() != 4 {
+		t.Errorf("window len = %d", tk.WindowLen())
+	}
+	// Output stream and schema.
+	if tk.OutSchema().NumFields() != 3 {
+		t.Error("output schema")
+	}
+}
+
+func TestTopKEviction(t *testing.T) {
+	s := quotesSchema(t)
+	tk, err := NewTopK("top", s, 1, "price", "symbol", stream.CountWindow(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Process(0, quote(1, "big", 1000, 1))
+	tk.Process(0, quote(2, "mid", 500, 1))
+	// big's quote evicts; mid becomes rank 1 as soon as small arrives.
+	out := tk.Process(0, quote(3, "small", 10, 1))
+	if out != nil {
+		t.Fatalf("small emitted %v", out)
+	}
+	out = tk.Process(0, quote(4, "mid", 400, 1))
+	if len(out) != 1 || out[0].Values[0].AsString() != "mid" || out[0].Values[2].AsInt() != 1 {
+		t.Fatalf("mid after eviction = %v", out)
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	s := quotesSchema(t)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil schema", func() error {
+			_, err := NewTopK("t", nil, 1, "price", "symbol", stream.CountWindow(1), 1)
+			return err
+		}},
+		{"k=0", func() error {
+			_, err := NewTopK("t", s, 0, "price", "symbol", stream.CountWindow(1), 1)
+			return err
+		}},
+		{"missing value", func() error {
+			_, err := NewTopK("t", s, 1, "nope", "symbol", stream.CountWindow(1), 1)
+			return err
+		}},
+		{"string value", func() error {
+			_, err := NewTopK("t", s, 1, "symbol", "symbol", stream.CountWindow(1), 1)
+			return err
+		}},
+		{"missing key", func() error {
+			_, err := NewTopK("t", s, 1, "price", "nope", stream.CountWindow(1), 1)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	tk, _ := NewTopK("t", s, 1, "price", "symbol", stream.CountWindow(1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad port did not panic")
+		}
+	}()
+	tk.Process(1, quote(1, "a", 1, 1))
+}

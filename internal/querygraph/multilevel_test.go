@@ -1,0 +1,179 @@
+package querygraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMultilevelBasics(t *testing.T) {
+	g := Figure2Graph()
+	p, err := PartitionMultilevel(g, Options{K: 2, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPartitioning(t, g, p, 2, 0.2)
+	if cut := g.EdgeCut(p); cut > 3 {
+		t.Errorf("multilevel cut on Figure 2 = %v, want <= 3", cut)
+	}
+	if _, err := PartitionMultilevel(g, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	empty, err := PartitionMultilevel(New(), Options{K: 3})
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty graph: %v/%v", empty, err)
+	}
+	one, err := PartitionMultilevel(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range one {
+		if part != 0 {
+			t.Fatal("K=1 not all zero")
+		}
+	}
+}
+
+func TestMultilevelQualityOnClusteredGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 3; trial++ {
+		g := randomGraph(rng, 120, 6)
+		k := 6
+		ml, err := PartitionMultilevel(g, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertValidPartitioning(t, g, ml, k, 0.2)
+		flat, err := Partition(g, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlCut, flatCut := g.EdgeCut(ml), g.EdgeCut(flat)
+		// Multilevel must stay within 1.5x of flat (it typically wins).
+		if mlCut > flatCut*1.5 {
+			t.Errorf("trial %d: multilevel cut %v far above flat %v", trial, mlCut, flatCut)
+		}
+		loadOnly, err := PartitionLoadOnly(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mlCut >= g.EdgeCut(loadOnly) {
+			t.Errorf("trial %d: multilevel cut %v not below load-only %v",
+				trial, mlCut, g.EdgeCut(loadOnly))
+		}
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomGraph(rng, 80, 4)
+	a, err := PartitionMultilevel(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionMultilevel(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at %s", v)
+		}
+	}
+}
+
+func TestMultilevelEdgelessGraph(t *testing.T) {
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.AddVertex(VertexID(fmt.Sprintf("v%02d", i)), float64(1+i%5))
+	}
+	p, err := PartitionMultilevel(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPartitioning(t, g, p, 4, 0.2)
+}
+
+func TestMultilevelScalesBetterThanFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	rng := rand.New(rand.NewSource(55))
+	g := randomGraph(rng, 600, 12)
+	k := 12
+	start := time.Now()
+	ml, err := PartitionMultilevel(g, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlTime := time.Since(start)
+	start = time.Now()
+	flat, err := Partition(g, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatTime := time.Since(start)
+	t.Logf("n=600: multilevel %v cut=%.0f; flat %v cut=%.0f",
+		mlTime, g.EdgeCut(ml), flatTime, g.EdgeCut(flat))
+	// Quality parity is the hard requirement; speed is logged.
+	if g.EdgeCut(ml) > g.EdgeCut(flat)*1.5 {
+		t.Errorf("multilevel quality regressed: %v vs %v", g.EdgeCut(ml), g.EdgeCut(flat))
+	}
+}
+
+func TestCoarsenPreservesWeightAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 60, 4)
+	res := coarsen(g, 0)
+	if res == nil {
+		t.Fatal("coarsen found nothing on a dense graph")
+	}
+	if res.graph.NumVertices() >= g.NumVertices() {
+		t.Errorf("coarse graph not smaller: %d vs %d",
+			res.graph.NumVertices(), g.NumVertices())
+	}
+	// Total vertex weight is conserved (up to float summation order).
+	if got, want := res.graph.TotalVertexWeight(), g.TotalVertexWeight(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("weight %v != %v", got, want)
+	}
+	// Every original vertex maps to an existing super-vertex.
+	for _, v := range g.Vertices() {
+		super, ok := res.mapping[v]
+		if !ok || !res.graph.Has(super) {
+			t.Fatalf("vertex %s unmapped", v)
+		}
+	}
+	// Edgeless graph cannot coarsen.
+	iso := New()
+	iso.AddVertex("a", 1)
+	iso.AddVertex("b", 1)
+	if coarsen(iso, 0) != nil {
+		t.Error("edgeless graph coarsened")
+	}
+}
+
+func BenchmarkPartitionFlat(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 200, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, Options{K: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionMultilevel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 200, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionMultilevel(g, Options{K: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

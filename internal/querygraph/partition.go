@@ -1,0 +1,396 @@
+package querygraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options configures partitioning.
+type Options struct {
+	// K is the number of partitions (entities).
+	K int
+	// Epsilon is the balance tolerance: every partition's weight must
+	// stay within (1+Epsilon) * total/K. Default 0.2.
+	Epsilon float64
+	// RefineRounds bounds the Kernighan–Lin refinement passes.
+	// Default 8.
+	RefineRounds int
+}
+
+func (o Options) normalized() Options {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.2
+	}
+	if o.RefineRounds <= 0 {
+		o.RefineRounds = 8
+	}
+	return o
+}
+
+func (o Options) maxLoad(total float64) float64 {
+	return (1 + o.Epsilon) * total / float64(o.K)
+}
+
+// Partition computes a balanced k-way partitioning minimizing weighted
+// edge cut: greedy growth ordered by vertex weight, then KL-style
+// refinement. The result is deterministic for a given graph.
+func Partition(g *Graph, opts Options) (Partitioning, error) {
+	opts = opts.normalized()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("querygraph: need K >= 1, got %d", opts.K)
+	}
+	vertices := g.Vertices()
+	if len(vertices) == 0 {
+		return Partitioning{}, nil
+	}
+	if opts.K == 1 {
+		p := make(Partitioning, len(vertices))
+		for _, v := range vertices {
+			p[v] = 0
+		}
+		return p, nil
+	}
+
+	maxLoad := opts.maxLoad(g.TotalVertexWeight())
+	// Two growth strategies, each followed by refinement; the better
+	// result wins. Weight-ordered growth packs for balance; affinity
+	// growth follows the heaviest connections and recovers community
+	// structure. Neither dominates, so run both.
+	pw, lw := growWeightOrdered(g, opts.K, maxLoad)
+	refine(g, pw, lw, maxLoad, opts.RefineRounds, nil)
+	pa, la := growByAffinity(g, opts.K, maxLoad)
+	refine(g, pa, la, maxLoad, opts.RefineRounds, nil)
+
+	if better(g, pa, la, pw, lw, maxLoad) {
+		return pa, nil
+	}
+	return pw, nil
+}
+
+// better reports whether candidate (p1, loads1) beats (p2, loads2):
+// feasibility first, then lower edge cut.
+func better(g *Graph, p1 Partitioning, loads1 []float64, p2 Partitioning, loads2 []float64, maxLoad float64) bool {
+	feas1, feas2 := feasible(loads1, maxLoad), feasible(loads2, maxLoad)
+	if feas1 != feas2 {
+		return feas1
+	}
+	return g.EdgeCut(p1) < g.EdgeCut(p2)
+}
+
+func feasible(loads []float64, maxLoad float64) bool {
+	for _, l := range loads {
+		if l > maxLoad+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// growWeightOrdered assigns heaviest vertices first (LPT-style) to the
+// best-gain feasible partition.
+func growWeightOrdered(g *Graph, k int, maxLoad float64) (Partitioning, []float64) {
+	order := g.Vertices()
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := g.VertexWeight(order[i]), g.VertexWeight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	p := make(Partitioning, len(order))
+	loads := make([]float64, k)
+	assigned := make(map[VertexID]bool, len(order))
+	for _, v := range order {
+		gain := make([]float64, k)
+		g.Neighbors(v, func(nb VertexID, w float64) {
+			if assigned[nb] {
+				gain[p[nb]] += w
+			}
+		})
+		p[v] = pickPartition(g.VertexWeight(v), gain, loads, maxLoad)
+		loads[p[v]] += g.VertexWeight(v)
+		assigned[v] = true
+	}
+	return p, loads
+}
+
+// growByAffinity is greedy graph growing (the GGGP strategy of
+// multilevel partitioners): partitions are grown one at a time — seed
+// with the heaviest vertex least attached to already-grown regions, then
+// repeatedly absorb the unassigned vertex most attached to the growing
+// region until it reaches its share of the load. Sequential growth keeps
+// each region inside one interest community instead of scattering seeds
+// across it.
+func growByAffinity(g *Graph, k int, maxLoad float64) (Partitioning, []float64) {
+	vertices := g.Vertices()
+	p := make(Partitioning, len(vertices))
+	loads := make([]float64, k)
+	assigned := make(map[VertexID]bool, len(vertices))
+	// attachCur[v] accumulates edge weight from v into the region being
+	// grown; attachAny[v] into any finished region (for seed choice).
+	attachCur := make(map[VertexID]float64, len(vertices))
+	attachAny := make(map[VertexID]float64, len(vertices))
+	target := g.TotalVertexWeight() / float64(k)
+
+	for part := 0; part < k; part++ {
+		// Seed: heaviest vertex among those least attached to finished
+		// regions (a fresh community when one exists).
+		var seed VertexID
+		seedAttach, seedW := 0.0, -1.0
+		for _, v := range vertices {
+			if assigned[v] {
+				continue
+			}
+			a, w := attachAny[v], g.VertexWeight(v)
+			if seedW < 0 || a < seedAttach || (a == seedAttach && w > seedW) {
+				seed, seedAttach, seedW = v, a, w
+			}
+		}
+		if seedW < 0 {
+			break // everything assigned
+		}
+		for v := range attachCur {
+			delete(attachCur, v)
+		}
+		assign := func(v VertexID) {
+			p[v] = part
+			loads[part] += g.VertexWeight(v)
+			assigned[v] = true
+			g.Neighbors(v, func(nb VertexID, w float64) {
+				if !assigned[nb] {
+					attachCur[nb] += w
+					attachAny[nb] += w
+				}
+			})
+		}
+		assign(seed)
+		for loads[part] < target {
+			var best VertexID
+			bestA := -1.0
+			for _, v := range vertices {
+				if assigned[v] {
+					continue
+				}
+				if a := attachCur[v]; a > bestA {
+					best, bestA = v, a
+				}
+			}
+			if best == "" || bestA <= 0 {
+				break // region's frontier is exhausted
+			}
+			if loads[part]+g.VertexWeight(best) > maxLoad {
+				// The most-attached vertex no longer fits; stop
+				// growing this region rather than jumping communities.
+				break
+			}
+			assign(best)
+		}
+	}
+	// Leftovers (disconnected or displaced): best-gain feasible region.
+	for _, v := range vertices {
+		if assigned[v] {
+			continue
+		}
+		gain := make([]float64, k)
+		g.Neighbors(v, func(nb VertexID, w float64) {
+			if assigned[nb] {
+				gain[p[nb]] += w
+			}
+		})
+		part := pickPartition(g.VertexWeight(v), gain, loads, maxLoad)
+		p[v] = part
+		loads[part] += g.VertexWeight(v)
+		assigned[v] = true
+	}
+	return p, loads
+}
+
+// pickPartition selects the feasible partition with the highest gain,
+// breaking ties toward lower load; with no feasible partition it returns
+// the least loaded one.
+func pickPartition(w float64, gain, loads []float64, maxLoad float64) int {
+	best, bestGain := -1, -1.0
+	for part := range loads {
+		if loads[part]+w > maxLoad {
+			continue
+		}
+		if gain[part] > bestGain ||
+			(gain[part] == bestGain && (best < 0 || loads[part] < loads[best])) {
+			best, bestGain = part, gain[part]
+		}
+	}
+	if best < 0 {
+		best = 0
+		for part := 1; part < len(loads); part++ {
+			if loads[part] < loads[best] {
+				best = part
+			}
+		}
+	}
+	return best
+}
+
+// refine runs hill-climbing passes moving single vertices between
+// partitions when the move reduces cut and keeps balance. It mutates p
+// and loads in place. evals, when non-nil, counts gain evaluations (the
+// decision-effort proxy reported by the repartitioning experiment).
+func refine(g *Graph, p Partitioning, loads []float64, maxLoad float64, rounds int, evals *int) {
+	k := len(loads)
+	vertices := g.Vertices()
+	for round := 0; round < rounds; round++ {
+		moved := false
+		for _, v := range vertices {
+			cur := p[v]
+			// D[x] = total edge weight from v into partition x.
+			d := make([]float64, k)
+			g.Neighbors(v, func(nb VertexID, w float64) {
+				d[p[nb]] += w
+			})
+			if evals != nil {
+				*evals += k
+			}
+			w := g.VertexWeight(v)
+			bestPart, bestGain := cur, 0.0
+			for q := 0; q < k; q++ {
+				if q == cur || loads[q]+w > maxLoad {
+					continue
+				}
+				gain := d[q] - d[cur]
+				if gain > bestGain {
+					bestPart, bestGain = q, gain
+				}
+			}
+			if bestPart != cur {
+				loads[cur] -= w
+				loads[bestPart] += w
+				p[v] = bestPart
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// PartitionLoadOnly is the load-balancing baseline that ignores data
+// interest entirely: longest-processing-time assignment of queries to the
+// least-loaded partition. It is the strategy of cluster systems like
+// Flux/Borealis that treat all processors as interchangeable.
+func PartitionLoadOnly(g *Graph, k int) (Partitioning, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("querygraph: need K >= 1, got %d", k)
+	}
+	order := g.Vertices()
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := g.VertexWeight(order[i]), g.VertexWeight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	p := make(Partitioning, len(order))
+	loads := make([]float64, k)
+	for _, v := range order {
+		best := 0
+		for part := 1; part < k; part++ {
+			if loads[part] < loads[best] {
+				best = part
+			}
+		}
+		p[v] = best
+		loads[best] += g.VertexWeight(v)
+	}
+	return p, nil
+}
+
+// PartitionSimilarityOnly is the similarity-clustering baseline the
+// paper warns about: greedily merge the heaviest edges into clusters
+// until k remain, ignoring load balance. It minimizes cut aggressively
+// but can produce arbitrarily imbalanced partitions (the paper's Q3/Q5
+// observation: similarity alone is not the right objective).
+func PartitionSimilarityOnly(g *Graph, k int) (Partitioning, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("querygraph: need K >= 1, got %d", k)
+	}
+	vertices := g.Vertices()
+	parent := make(map[VertexID]VertexID, len(vertices))
+	for _, v := range vertices {
+		parent[v] = v
+	}
+	var find func(VertexID) VertexID
+	find = func(v VertexID) VertexID {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	type edge struct {
+		a, b VertexID
+		w    float64
+	}
+	var edges []edge
+	for _, a := range vertices {
+		g.Neighbors(a, func(b VertexID, w float64) {
+			if a < b {
+				edges = append(edges, edge{a, b, w})
+			}
+		})
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	clusters := len(vertices)
+	for _, e := range edges {
+		if clusters <= k {
+			break
+		}
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+			clusters--
+		}
+	}
+	// If still more clusters than k (disconnected graph), merge the
+	// lightest clusters together.
+	for clusters > k {
+		weights := make(map[VertexID]float64)
+		for _, v := range vertices {
+			weights[find(v)] += g.VertexWeight(v)
+		}
+		roots := make([]VertexID, 0, len(weights))
+		for r := range weights {
+			roots = append(roots, r)
+		}
+		sort.Slice(roots, func(i, j int) bool {
+			if weights[roots[i]] != weights[roots[j]] {
+				return weights[roots[i]] < weights[roots[j]]
+			}
+			return roots[i] < roots[j]
+		})
+		parent[roots[0]] = roots[1]
+		clusters--
+	}
+	// Number the clusters deterministically.
+	p := make(Partitioning, len(vertices))
+	next := 0
+	ids := make(map[VertexID]int)
+	for _, v := range vertices {
+		r := find(v)
+		id, ok := ids[r]
+		if !ok {
+			id = next
+			ids[r] = id
+			next++
+		}
+		p[v] = id
+	}
+	return p, nil
+}

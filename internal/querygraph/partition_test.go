@@ -1,0 +1,244 @@
+package querygraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a reproducible query graph with clustered interest:
+// vertices fall into nClusters communities with heavy intra-cluster edges
+// and light inter-cluster edges — the structure real query workloads
+// exhibit (many clients watching the same symbols).
+func randomGraph(rng *rand.Rand, n, nClusters int) *Graph {
+	g := New()
+	cluster := make(map[VertexID]int, n)
+	for i := 0; i < n; i++ {
+		id := VertexID(fmt.Sprintf("q%03d", i))
+		g.AddVertex(id, 1+rng.Float64()*9)
+		cluster[id] = i % nClusters
+	}
+	vs := g.Vertices()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := vs[i], vs[j]
+			if cluster[a] == cluster[b] {
+				if rng.Float64() < 0.5 {
+					g.SetEdge(a, b, 1+rng.Float64()*9)
+				}
+			} else if rng.Float64() < 0.05 {
+				g.SetEdge(a, b, rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+func assertValidPartitioning(t *testing.T, g *Graph, p Partitioning, k int, eps float64) {
+	t.Helper()
+	if len(p) != g.NumVertices() {
+		t.Fatalf("assignment covers %d of %d vertices", len(p), g.NumVertices())
+	}
+	for v, part := range p {
+		if part < 0 || part >= k {
+			t.Fatalf("vertex %s assigned to %d (k=%d)", v, part, k)
+		}
+	}
+	weights := g.PartitionWeights(p, k)
+	maxLoad := (1 + eps) * g.TotalVertexWeight() / float64(k)
+	// Allow a single oversized vertex to breach the cap (unavoidable).
+	heaviest := 0.0
+	for _, v := range g.Vertices() {
+		if w := g.VertexWeight(v); w > heaviest {
+			heaviest = w
+		}
+	}
+	for i, w := range weights {
+		if w > maxLoad+heaviest {
+			t.Fatalf("partition %d weight %v far exceeds cap %v", i, w, maxLoad)
+		}
+	}
+}
+
+func TestPartitionFindsFigure2PlanB(t *testing.T) {
+	g := Figure2Graph()
+	p, err := Partition(g, Options{K: 2, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPartitioning(t, g, p, 2, 0.2)
+	// The optimal balanced cut of the Figure 2 graph is plan (b)'s 3.
+	if cut := g.EdgeCut(p); cut > 3 {
+		t.Fatalf("partitioner cut = %v, want <= 3 (plan b)", cut)
+	}
+	// And Q3/Q5 must share a side even though they share no edge.
+	if p["Q3"] != p["Q5"] {
+		t.Error("partitioner separated Q3 and Q5 (missed the paper's point)")
+	}
+}
+
+func TestPartitionErrorsAndEdgeCases(t *testing.T) {
+	g := Figure2Graph()
+	if _, err := Partition(g, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	p, err := Partition(New(), Options{K: 3})
+	if err != nil || len(p) != 0 {
+		t.Errorf("empty graph: %v, %v", p, err)
+	}
+	// K=1 puts everything in partition 0.
+	one, err := Partition(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, part := range one {
+		if part != 0 {
+			t.Fatalf("K=1 assigned %s to %d", v, part)
+		}
+	}
+	if g.EdgeCut(one) != 0 {
+		t.Error("K=1 has non-zero cut")
+	}
+	// More partitions than vertices still works.
+	many, err := Partition(g, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPartitioning(t, g, many, 10, 0.2)
+}
+
+func TestPartitionOversizedVertex(t *testing.T) {
+	g := New()
+	g.AddVertex("huge", 100)
+	g.AddVertex("a", 1)
+	g.AddVertex("b", 1)
+	p, err := Partition(g, Options{K: 2, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatal("vertices unassigned")
+	}
+	// The small vertices should share the non-huge partition.
+	if p["a"] == p["huge"] || p["b"] == p["huge"] {
+		t.Errorf("small vertices packed with oversized one: %v", p)
+	}
+}
+
+func TestPartitionBeatsLoadOnlyOnCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(rng, 60, 4)
+		k := 4
+		ours, err := Partition(g, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadOnly, err := PartitionLoadOnly(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertValidPartitioning(t, g, ours, k, 0.2)
+		if cutOurs, cutLoad := g.EdgeCut(ours), g.EdgeCut(loadOnly); cutOurs >= cutLoad {
+			t.Errorf("trial %d: interest-aware cut %v not better than load-only %v",
+				trial, cutOurs, cutLoad)
+		}
+	}
+}
+
+func TestSimilarityOnlyIgnoresBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 40, 2) // two big communities
+	k := 4
+	sim, err := PartitionSimilarityOnly(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := Partition(g, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBal := Imbalance(g.PartitionWeights(sim, k))
+	oursBal := Imbalance(g.PartitionWeights(ours, k))
+	// Similarity clustering collapses into the two communities, leaving
+	// ~2 partitions nearly empty — far worse balance than ours.
+	if simBal <= oursBal {
+		t.Errorf("similarity-only balance %v unexpectedly better than ours %v", simBal, oursBal)
+	}
+}
+
+func TestPartitionLoadOnlyBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 50, 5)
+	p, err := PartitionLoadOnly(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Imbalance(g.PartitionWeights(p, 5)); got > 1.3 {
+		t.Errorf("LPT imbalance = %v", got)
+	}
+	if _, err := PartitionLoadOnly(g, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestPartitionSimilarityOnlyErrorsAndDisconnected(t *testing.T) {
+	if _, err := PartitionSimilarityOnly(New(), 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	// Disconnected graph with more components than k: lightest clusters
+	// merge until k remain.
+	g := New()
+	for i := 0; i < 6; i++ {
+		g.AddVertex(VertexID(fmt.Sprintf("v%d", i)), float64(i+1))
+	}
+	p, err := PartitionSimilarityOnly(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[int]bool{}
+	for _, part := range p {
+		parts[part] = true
+	}
+	if len(parts) != 2 {
+		t.Errorf("clusters = %d, want 2", len(parts))
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 30, 3)
+	p1, err := Partition(g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Partition(g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p1 {
+		if p1[v] != p2[v] {
+			t.Fatalf("nondeterministic assignment for %s", v)
+		}
+	}
+}
+
+func TestRefinementImprovesGreedy(t *testing.T) {
+	// A graph where greedy growth alone is suboptimal: a chain with a
+	// heavy middle edge. Refinement must not increase the cut.
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 40, 4)
+	noRefine := g.Clone()
+	_ = noRefine
+	p, err := Partition(g, Options{K: 4, RefineRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMore, err := Partition(g, Options{K: 4, RefineRounds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCut(pMore) > g.EdgeCut(p)+1e-9 {
+		t.Errorf("more refinement worsened cut: %v > %v", g.EdgeCut(pMore), g.EdgeCut(p))
+	}
+}

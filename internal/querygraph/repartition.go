@@ -1,0 +1,348 @@
+package querygraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RepartitionResult reports one adaptive repartitioning decision.
+type RepartitionResult struct {
+	// Assignment is the new partitioning.
+	Assignment Partitioning
+	// Migrations counts queries whose entity changed — each migration
+	// interrupts a running query, so fewer is better.
+	Migrations int
+	// Evaluations counts gain evaluations performed, the deterministic
+	// proxy for decision-making time.
+	Evaluations int
+}
+
+// Repartitioner adapts an existing partitioning after the query graph
+// drifts (load changes, interest changes, query arrivals/departures).
+type Repartitioner interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Repartition computes a new assignment from the current graph and
+	// the old assignment. Vertices absent from old are new arrivals;
+	// vertices absent from the graph have departed.
+	Repartition(g *Graph, old Partitioning, opts Options) (RepartitionResult, error)
+}
+
+// ScratchRepartitioner reruns the full partitioner from scratch — the
+// paper's first extreme: near-optimal cut, long decision time, many
+// query movements. Labels of the fresh partitioning are matched to the
+// old one to avoid counting pure renumberings as migrations.
+type ScratchRepartitioner struct{}
+
+// Name implements Repartitioner.
+func (ScratchRepartitioner) Name() string { return "scratch" }
+
+// Repartition implements Repartitioner.
+func (ScratchRepartitioner) Repartition(g *Graph, old Partitioning, opts Options) (RepartitionResult, error) {
+	opts = opts.normalized()
+	fresh, err := Partition(g, opts)
+	if err != nil {
+		return RepartitionResult{}, err
+	}
+	// Evaluations: the scratch pass examines every vertex against every
+	// partition in both growth and refinement.
+	evals := g.NumVertices() * opts.K * (1 + opts.RefineRounds)
+	matched := matchLabels(old, fresh, opts.K)
+	return RepartitionResult{
+		Assignment:  matched,
+		Migrations:  Diff(old, matched),
+		Evaluations: evals,
+	}, nil
+}
+
+// matchLabels renames the partitions of fresh to maximize overlap with
+// old, greedily by overlap count.
+func matchLabels(old, fresh Partitioning, k int) Partitioning {
+	overlap := make([][]int, k)
+	for i := range overlap {
+		overlap[i] = make([]int, k)
+	}
+	for v, np := range fresh {
+		if op, ok := old[v]; ok && op >= 0 && op < k && np >= 0 && np < k {
+			overlap[np][op]++
+		}
+	}
+	type pair struct{ from, to, n int }
+	var pairs []pair
+	for f := 0; f < k; f++ {
+		for o := 0; o < k; o++ {
+			pairs = append(pairs, pair{f, o, overlap[f][o]})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	rename := make([]int, k)
+	for i := range rename {
+		rename[i] = -1
+	}
+	usedTo := make([]bool, k)
+	for _, pr := range pairs {
+		if rename[pr.from] < 0 && !usedTo[pr.to] {
+			rename[pr.from] = pr.to
+			usedTo[pr.to] = true
+		}
+	}
+	for f := 0; f < k; f++ {
+		if rename[f] < 0 {
+			for o := 0; o < k; o++ {
+				if !usedTo[o] {
+					rename[f] = o
+					usedTo[o] = true
+					break
+				}
+			}
+		}
+	}
+	out := make(Partitioning, len(fresh))
+	for v, np := range fresh {
+		if np >= 0 && np < k {
+			out[v] = rename[np]
+		} else {
+			out[v] = np
+		}
+	}
+	return out
+}
+
+// GreedyCutRepartitioner is the paper's second extreme: move vertices
+// from overloaded to underloaded partitions purely by load, ignoring
+// data-interest overlap. Cheap decisions, few constraints — but the edge
+// cut degrades because co-interested queries get separated.
+type GreedyCutRepartitioner struct{}
+
+// Name implements Repartitioner.
+func (GreedyCutRepartitioner) Name() string { return "greedycut" }
+
+// Repartition implements Repartitioner.
+func (GreedyCutRepartitioner) Repartition(g *Graph, old Partitioning, opts Options) (RepartitionResult, error) {
+	opts = opts.normalized()
+	if opts.K < 1 {
+		return RepartitionResult{}, fmt.Errorf("querygraph: need K >= 1, got %d", opts.K)
+	}
+	p := carryForward(g, old, opts.K)
+	loads := make([]float64, opts.K)
+	for v, part := range p {
+		loads[part] += g.VertexWeight(v)
+	}
+	maxLoad := opts.maxLoad(g.TotalVertexWeight())
+	evals := 0
+	migrations := Diff(old, p) // new arrivals placed by carryForward
+
+	// Repeatedly take the lightest movable vertex from the most loaded
+	// partition above the cap and give it to the least loaded one.
+	for iter := 0; iter < g.NumVertices()*2; iter++ {
+		worst, best := 0, 0
+		for i := 1; i < opts.K; i++ {
+			if loads[i] > loads[worst] {
+				worst = i
+			}
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		if loads[worst] <= maxLoad || worst == best {
+			break
+		}
+		var candidate VertexID
+		candW := -1.0
+		for _, v := range g.Vertices() {
+			evals++
+			if p[v] != worst {
+				continue
+			}
+			w := g.VertexWeight(v)
+			// Prefer the smallest vertex that still helps, to keep
+			// migration cost low.
+			if w > 0 && (candW < 0 || w < candW) {
+				candidate, candW = v, w
+			}
+		}
+		if candW < 0 {
+			break
+		}
+		p[candidate] = best
+		loads[worst] -= candW
+		loads[best] += candW
+		migrations++
+	}
+	return RepartitionResult{Assignment: p, Migrations: migrations, Evaluations: evals}, nil
+}
+
+// HybridRepartitioner is the trade-off the paper calls for: keep the old
+// assignment, place arrivals greedily by interest affinity, then run a
+// bounded number of KL refinement passes over boundary vertices so both
+// balance and cut recover without a full rebuild.
+type HybridRepartitioner struct {
+	// Rounds bounds the refinement passes (default 3, deliberately
+	// fewer than a scratch run).
+	Rounds int
+}
+
+// Name implements Repartitioner.
+func (HybridRepartitioner) Name() string { return "hybrid" }
+
+// Repartition implements Repartitioner.
+func (h HybridRepartitioner) Repartition(g *Graph, old Partitioning, opts Options) (RepartitionResult, error) {
+	opts = opts.normalized()
+	if opts.K < 1 {
+		return RepartitionResult{}, fmt.Errorf("querygraph: need K >= 1, got %d", opts.K)
+	}
+	rounds := h.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	p := carryForwardByAffinity(g, old, opts.K)
+	loads := make([]float64, opts.K)
+	for v, part := range p {
+		loads[part] += g.VertexWeight(v)
+	}
+	maxLoad := opts.maxLoad(g.TotalVertexWeight())
+	evals := 0
+
+	// First restore balance (cheapest-cut move out of overloaded
+	// partitions), then improve cut within balance.
+	rebalance(g, p, loads, maxLoad, &evals)
+	refine(g, p, loads, maxLoad, rounds, &evals)
+	return RepartitionResult{Assignment: p, Migrations: Diff(old, p), Evaluations: evals}, nil
+}
+
+// carryForward keeps old assignments for surviving vertices and assigns
+// arrivals to the least-loaded partition.
+func carryForward(g *Graph, old Partitioning, k int) Partitioning {
+	p := make(Partitioning, g.NumVertices())
+	loads := make([]float64, k)
+	var arrivals []VertexID
+	for _, v := range g.Vertices() {
+		if part, ok := old[v]; ok && part >= 0 && part < k {
+			p[v] = part
+			loads[part] += g.VertexWeight(v)
+		} else {
+			arrivals = append(arrivals, v)
+		}
+	}
+	for _, v := range arrivals {
+		best := 0
+		for i := 1; i < k; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		p[v] = best
+		loads[best] += g.VertexWeight(v)
+	}
+	return p
+}
+
+// carryForwardByAffinity keeps old assignments and places arrivals on
+// the partition with the strongest interest affinity that still has
+// room, falling back to least-loaded.
+func carryForwardByAffinity(g *Graph, old Partitioning, k int) Partitioning {
+	p := make(Partitioning, g.NumVertices())
+	loads := make([]float64, k)
+	var arrivals []VertexID
+	for _, v := range g.Vertices() {
+		if part, ok := old[v]; ok && part >= 0 && part < k {
+			p[v] = part
+			loads[part] += g.VertexWeight(v)
+		} else {
+			arrivals = append(arrivals, v)
+		}
+	}
+	maxLoad := Options{K: k}.normalized().maxLoad(g.TotalVertexWeight())
+	for _, v := range arrivals {
+		gain := make([]float64, k)
+		g.Neighbors(v, func(nb VertexID, w float64) {
+			if part, ok := p[nb]; ok {
+				gain[part] += w
+			}
+		})
+		w := g.VertexWeight(v)
+		best, bestGain := -1, -1.0
+		for i := 0; i < k; i++ {
+			if loads[i]+w > maxLoad {
+				continue
+			}
+			if gain[i] > bestGain || (gain[i] == bestGain && (best < 0 || loads[i] < loads[best])) {
+				best, bestGain = i, gain[i]
+			}
+		}
+		if best < 0 {
+			best = 0
+			for i := 1; i < k; i++ {
+				if loads[i] < loads[best] {
+					best = i
+				}
+			}
+		}
+		p[v] = best
+		loads[best] += w
+	}
+	return p
+}
+
+// rebalance moves vertices out of partitions exceeding maxLoad, choosing
+// the move that sacrifices the least edge-cut per unit of load moved.
+func rebalance(g *Graph, p Partitioning, loads []float64, maxLoad float64, evals *int) {
+	k := len(loads)
+	for iter := 0; iter < g.NumVertices()*2; iter++ {
+		worst := 0
+		for i := 1; i < k; i++ {
+			if loads[i] > loads[worst] {
+				worst = i
+			}
+		}
+		if loads[worst] <= maxLoad {
+			return
+		}
+		type move struct {
+			v    VertexID
+			to   int
+			loss float64
+		}
+		best := move{to: -1}
+		for _, v := range g.Vertices() {
+			if p[v] != worst {
+				continue
+			}
+			w := g.VertexWeight(v)
+			if w <= 0 {
+				continue
+			}
+			d := make([]float64, k)
+			g.Neighbors(v, func(nb VertexID, ew float64) {
+				d[p[nb]] += ew
+			})
+			if evals != nil {
+				*evals += k
+			}
+			for q := 0; q < k; q++ {
+				if q == worst || loads[q]+w > maxLoad {
+					continue
+				}
+				loss := (d[worst] - d[q]) / w // cut increase per load unit
+				if best.to < 0 || loss < best.loss {
+					best = move{v: v, to: q, loss: loss}
+				}
+			}
+		}
+		if best.to < 0 {
+			return // nowhere to move without breaking the cap
+		}
+		w := g.VertexWeight(best.v)
+		loads[worst] -= w
+		loads[best.to] += w
+		p[best.v] = best.to
+	}
+}

@@ -1,0 +1,379 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := (Point{1, 1}).Distance(Point{1, 1}); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if c := Centroid(nil); c != (Point{}) {
+		t.Errorf("empty centroid = %v", c)
+	}
+	c := Centroid([]Point{{0, 0}, {2, 0}, {1, 3}})
+	if c.X != 1 || c.Y != 1 {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestCenterIndex(t *testing.T) {
+	if CenterIndex(nil) != -1 {
+		t.Error("empty center index")
+	}
+	pts := []Point{{0, 0}, {10, 0}, {5, 0}}
+	if got := CenterIndex(pts); got != 2 {
+		t.Errorf("center = %d, want 2 (the midpoint)", got)
+	}
+}
+
+func TestRadius(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 4}}
+	if r := Radius(Point{0, 0}, pts); r != 5 {
+		t.Errorf("radius = %v", r)
+	}
+	if r := Radius(Point{0, 0}, nil); r != 0 {
+		t.Errorf("empty radius = %v", r)
+	}
+}
+
+// Property: CenterIndex minimizes max-distance among candidates.
+func TestCenterIndexOptimalProperty(t *testing.T) {
+	f := func(coords []uint8) bool {
+		if len(coords) < 2 {
+			return true
+		}
+		pts := make([]Point, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, Point{X: float64(coords[i]), Y: float64(coords[i+1])})
+		}
+		ci := CenterIndex(pts)
+		best := Radius(pts[ci], pts)
+		for _, p := range pts {
+			if Radius(p, pts) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimNetDelivery(t *testing.T) {
+	n := NewSim(nil)
+	defer n.Close()
+	var mu sync.Mutex
+	var got []Message
+	if err := n.Register("a", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", "test", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Quiesce(time.Second) {
+		t.Fatal("quiesce timeout")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	m := got[0]
+	if m.From != "a" || m.To != "b" || m.Kind != "test" || string(m.Payload) != "hello" {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestSimNetErrors(t *testing.T) {
+	n := NewSim(nil)
+	defer n.Close()
+	if err := n.Register("a", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := n.Register("a", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a", func(Message) {}); err == nil {
+		t.Error("duplicate register accepted")
+	}
+	if err := n.Send("a", "missing", "k", nil); err == nil {
+		t.Error("send to unknown accepted")
+	}
+	if err := n.Send("missing", "a", "k", nil); err == nil {
+		t.Error("send from unknown accepted")
+	}
+	var unknown ErrUnknownNode
+	err := n.Send("a", "missing", "k", nil)
+	if ue, ok := err.(ErrUnknownNode); !ok || ue.ID != "missing" {
+		t.Errorf("error = %#v, want ErrUnknownNode{missing}", err)
+	}
+	_ = unknown
+	if err := n.Deregister("missing"); err == nil {
+		t.Error("deregister unknown accepted")
+	}
+}
+
+func TestSimNetTrafficAccounting(t *testing.T) {
+	n := NewSim(nil)
+	defer n.Close()
+	n.Register("src", func(Message) {})
+	n.Register("dst", func(Message) {})
+	payload := []byte("0123456789")
+	if err := n.Send("src", "dst", "tuples", payload); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(Message{From: "src", To: "dst", Kind: "tuples", Payload: payload}.Size())
+	tr := n.Traffic()
+	if tr.TotalBytes() != want {
+		t.Errorf("total = %d, want %d", tr.TotalBytes(), want)
+	}
+	if tr.TotalMessages() != 1 {
+		t.Errorf("messages = %d", tr.TotalMessages())
+	}
+	if tr.EgressBytes("src") != want {
+		t.Errorf("egress = %d", tr.EgressBytes("src"))
+	}
+	if tr.EgressBytes("dst") != 0 {
+		t.Errorf("receiver egress = %d", tr.EgressBytes("dst"))
+	}
+	if tr.LinkBytes("src", "dst") != want {
+		t.Errorf("link = %d", tr.LinkBytes("src", "dst"))
+	}
+	if tr.LinkBytes("dst", "src") != 0 {
+		t.Errorf("reverse link = %d", tr.LinkBytes("dst", "src"))
+	}
+	id, b := tr.MaxEgress()
+	if id != "src" || b != want {
+		t.Errorf("max egress = %s/%d", id, b)
+	}
+	tr.Reset()
+	if tr.TotalBytes() != 0 || tr.EgressBytes("src") != 0 {
+		t.Error("reset incomplete")
+	}
+	if id, b := tr.MaxEgress(); id != "" || b != 0 {
+		t.Errorf("empty max egress = %q/%d", id, b)
+	}
+}
+
+func TestSimNetPositionsAndLatency(t *testing.T) {
+	n := NewSim(DistanceLatency(0, time.Millisecond))
+	defer n.Close()
+	n.RegisterAt("a", Point{0, 0}, func(Message) {})
+	arrived := make(chan time.Time, 1)
+	n.RegisterAt("b", Point{30, 40}, func(Message) { arrived <- time.Now() })
+	if p, ok := n.Position("a"); !ok || p != (Point{0, 0}) {
+		t.Error("position a")
+	}
+	if _, ok := n.Position("zz"); ok {
+		t.Error("position of unknown node")
+	}
+	start := time.Now()
+	if err := n.Send("a", "b", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	at := <-arrived
+	// Distance 50 → 50ms modeled latency; allow generous slack.
+	if got := at.Sub(start); got < 40*time.Millisecond {
+		t.Errorf("latency = %v, want >= ~50ms", got)
+	}
+}
+
+func TestSimNetDeregisterStopsDelivery(t *testing.T) {
+	n := NewSim(nil)
+	defer n.Close()
+	n.Register("a", func(Message) {})
+	n.Register("b", func(Message) {})
+	if err := n.Deregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", "k", nil); err == nil {
+		t.Error("send to deregistered node accepted")
+	}
+	if n.Nodes() != 1 {
+		t.Errorf("nodes = %d", n.Nodes())
+	}
+}
+
+func TestSimNetCloseIdempotent(t *testing.T) {
+	n := NewSim(nil)
+	n.Register("a", func(Message) {})
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", func(Message) {}); err == nil {
+		t.Error("register after close accepted")
+	}
+	if err := n.Send("a", "a", "k", nil); err == nil {
+		t.Error("send after close accepted")
+	}
+}
+
+func TestConstantLatency(t *testing.T) {
+	m := ConstantLatency(5 * time.Millisecond)
+	if d := m(Point{}, Point{100, 100}); d != 5*time.Millisecond {
+		t.Errorf("constant latency = %v", d)
+	}
+}
+
+func TestMessageSizeMatchesFrame(t *testing.T) {
+	msg := Message{From: "alpha", To: "b", Kind: "tuples", Payload: []byte("xyz")}
+	frame := appendFrame(nil, msg)
+	if msg.Size() != len(frame) {
+		t.Errorf("Size() = %d, frame = %d", msg.Size(), len(frame))
+	}
+}
+
+// Property: frame encode/decode round-trips.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(from, to, kind string, payload []byte) bool {
+		if len(from) > 500 || len(to) > 500 || len(kind) > 500 || len(payload) > 5000 {
+			return true
+		}
+		msg := Message{From: NodeID(from), To: NodeID(to), Kind: kind, Payload: payload}
+		frame := appendFrame(nil, msg)
+		got, err := readFrame(byteReader(frame))
+		if err != nil {
+			return false
+		}
+		if got.From != msg.From || got.To != msg.To || got.Kind != msg.Kind {
+			return false
+		}
+		if len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type byteReaderT struct {
+	buf []byte
+	off int
+}
+
+func byteReader(b []byte) *byteReaderT { return &byteReaderT{buf: b} }
+
+func (r *byteReaderT) Read(p []byte) (int, error) {
+	if r.off >= len(r.buf) {
+		return 0, errEOF
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+var errEOF = &eofError{}
+
+type eofError struct{}
+
+func (*eofError) Error() string { return "EOF" }
+
+func TestTCPNetEndToEnd(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	var mu sync.Mutex
+	var got []Message
+	if err := n.Register("server", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("client", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if addr, ok := n.Address("server"); !ok || addr == "" {
+		t.Fatal("server has no address")
+	}
+	if _, ok := n.Address("nope"); ok {
+		t.Error("address of unknown node")
+	}
+	for i := 0; i < 10; i++ {
+		if err := n.Send("client", "server", "tuples", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c := len(got)
+		mu.Unlock()
+		if c == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of 10", c)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].From != "client" || got[0].Kind != "tuples" {
+		t.Fatalf("message = %+v", got[0])
+	}
+	if n.Traffic().TotalMessages() != 10 {
+		t.Errorf("traffic messages = %d", n.Traffic().TotalMessages())
+	}
+}
+
+func TestTCPNetErrors(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	if err := n.Register("a", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	n.Register("a", func(Message) {})
+	if err := n.Register("a", func(Message) {}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := n.Send("a", "missing", "k", nil); err == nil {
+		t.Error("send to unknown accepted")
+	}
+	if err := n.Send("missing", "a", "k", nil); err == nil {
+		t.Error("send from unknown accepted")
+	}
+	if err := n.Deregister("missing"); err == nil {
+		t.Error("deregister unknown accepted")
+	}
+	if err := n.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", func(Message) {}); err == nil {
+		t.Error("register after close accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sspd/internal/metrics"
+)
+
+// NodeID names one communication endpoint (a processor, an entity
+// wrapper, a coordinator, or a stream source).
+type NodeID string
+
+// Message is one transport delivery.
+type Message struct {
+	From, To NodeID
+	// Kind is the application-level message type ("tuples", "join",
+	// "interest", ...). Handlers dispatch on it.
+	Kind string
+	// Payload is the encoded body.
+	Payload []byte
+}
+
+// Size returns the accounted size of the message in bytes: payload plus
+// a fixed header charge mirroring the framing of the TCP transport.
+func (m Message) Size() int {
+	return len(m.Payload) + frameOverhead(len(m.From), len(m.To), len(m.Kind))
+}
+
+func frameOverhead(fromLen, toLen, kindLen int) int {
+	// 4-byte total length + 3 length-prefixed strings.
+	return 4 + 2 + fromLen + 2 + toLen + 2 + kindLen
+}
+
+// Handler consumes delivered messages. Handlers run on transport
+// goroutines and must not block for long.
+type Handler func(Message)
+
+// Transport moves messages between named nodes and meters every byte.
+type Transport interface {
+	// Register creates an endpoint. The handler receives messages
+	// addressed to id.
+	Register(id NodeID, h Handler) error
+	// Deregister removes an endpoint; messages to it start failing.
+	Deregister(id NodeID) error
+	// Send delivers a message from one endpoint to another.
+	Send(from, to NodeID, kind string, payload []byte) error
+	// Traffic exposes the transport's byte accounting.
+	Traffic() *Traffic
+	// Close shuts the transport down.
+	Close() error
+}
+
+// Traffic aggregates byte counters: total, per sending node (egress) and
+// per link. All methods are safe for concurrent use.
+type Traffic struct {
+	mu     sync.Mutex
+	total  metrics.ByteMeter
+	egress map[NodeID]*metrics.ByteMeter
+	links  map[linkKey]*metrics.ByteMeter
+}
+
+type linkKey struct{ from, to NodeID }
+
+// NewTraffic returns an empty accounting table.
+func NewTraffic() *Traffic {
+	return &Traffic{
+		egress: make(map[NodeID]*metrics.ByteMeter),
+		links:  make(map[linkKey]*metrics.ByteMeter),
+	}
+}
+
+// Record accounts one message of n bytes on from→to.
+func (t *Traffic) Record(from, to NodeID, n int) {
+	t.total.Record(n)
+	t.mu.Lock()
+	eg := t.egress[from]
+	if eg == nil {
+		eg = &metrics.ByteMeter{}
+		t.egress[from] = eg
+	}
+	lk := t.links[linkKey{from, to}]
+	if lk == nil {
+		lk = &metrics.ByteMeter{}
+		t.links[linkKey{from, to}] = lk
+	}
+	t.mu.Unlock()
+	eg.Record(n)
+	lk.Record(n)
+}
+
+// TotalBytes returns all bytes sent through the transport.
+func (t *Traffic) TotalBytes() int64 { return t.total.Bytes() }
+
+// TotalMessages returns all messages sent through the transport.
+func (t *Traffic) TotalMessages() int64 { return t.total.Messages() }
+
+// EgressBytes returns the bytes sent by one node.
+func (t *Traffic) EgressBytes(id NodeID) int64 {
+	t.mu.Lock()
+	eg := t.egress[id]
+	t.mu.Unlock()
+	if eg == nil {
+		return 0
+	}
+	return eg.Bytes()
+}
+
+// IngressBytes returns the bytes received by one node across all links.
+func (t *Traffic) IngressBytes(id NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for key, m := range t.links {
+		if key.to == id {
+			total += m.Bytes()
+		}
+	}
+	return total
+}
+
+// LinkBytes returns the bytes sent on the from→to link.
+func (t *Traffic) LinkBytes(from, to NodeID) int64 {
+	t.mu.Lock()
+	lk := t.links[linkKey{from, to}]
+	t.mu.Unlock()
+	if lk == nil {
+		return 0
+	}
+	return lk.Bytes()
+}
+
+// MaxEgress returns the node with the largest egress and its byte count —
+// the hot spot the dissemination experiments watch (a source feeding all
+// entities directly maximizes this).
+func (t *Traffic) MaxEgress() (NodeID, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var worst NodeID
+	var worstBytes int64 = -1
+	ids := make([]NodeID, 0, len(t.egress))
+	for id := range t.egress {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if b := t.egress[id].Bytes(); b > worstBytes {
+			worst, worstBytes = id, b
+		}
+	}
+	if worstBytes < 0 {
+		return "", 0
+	}
+	return worst, worstBytes
+}
+
+// Reset zeroes all counters.
+func (t *Traffic) Reset() {
+	t.total.Reset()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.egress = make(map[NodeID]*metrics.ByteMeter)
+	t.links = make(map[linkKey]*metrics.ByteMeter)
+}
+
+// ErrUnknownNode is returned when sending to or from an unregistered id.
+type ErrUnknownNode struct {
+	ID NodeID
+}
+
+// Error implements error.
+func (e ErrUnknownNode) Error() string {
+	return fmt.Sprintf("simnet: unknown node %q", string(e.ID))
+}

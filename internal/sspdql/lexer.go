@@ -1,0 +1,142 @@
+// Package sspdql implements the small declarative continuous-query
+// language of sspd — the textual form of engine.QuerySpec that clients
+// submit to the portal. The grammar mirrors the spec exactly, which
+// keeps the language honest about what the federation can distribute:
+//
+//	query   := FROM ident
+//	           [ JOIN ident ON ident = ident [ WINDOW window ] ]
+//	           [ WHERE pred { AND pred } ]
+//	           [ DISTINCT BY ident [ WINDOW window ] ]
+//	           [ AGGREGATE func '(' ident ')' [ BY ident ] [ WINDOW window ]
+//	           | TOP int OF ident BY ident [ WINDOW window ] ]
+//	pred    := ident BETWEEN num AND num
+//	         | ident ( '<' | '<=' | '>' | '>=' | '=' ) num
+//	         | ident '=' string
+//	         | ident IN '(' string { ',' string } ')'
+//	window  := int [ 's' | 'ms' | 'm' ]      (bare int = tuple count)
+//	func    := count | sum | avg | min | max
+//
+// Keywords are case-insensitive; identifiers are case-sensitive.
+package sspdql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp // < <= > >= =
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer produces tokens from the query text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{tokOp, l.src[start:l.pos], start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sspdql: unterminated string at offset %d", start)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++ // closing quote
+		return token{tokString, text, start}, nil
+	case c == '-' || c == '+' || c == '.' || unicode.IsDigit(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if unicode.IsDigit(rune(ch)) || ch == '.' || ch == 'e' || ch == 'E' ||
+				((ch == '-' || ch == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		// A bare count window like "100s" lexes as number "100" then
+		// ident "s"; the parser reassembles units.
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := rune(l.src[l.pos])
+			if unicode.IsLetter(ch) || unicode.IsDigit(ch) || ch == '_' || ch == '.' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("sspdql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+// isKeyword reports a case-insensitive keyword match.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

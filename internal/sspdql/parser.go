@@ -1,0 +1,498 @@
+package sspdql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+// OpenBound is the magnitude used for one-sided comparisons: `price <
+// 10` becomes the range [-OpenBound, 10]. It is far outside any schema
+// domain.
+const OpenBound = 1e18
+
+// Parse compiles query text into a QuerySpec with the given ID.
+func Parse(id, src string) (engine.QuerySpec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return engine.QuerySpec{}, err
+	}
+	p := &parser{toks: toks}
+	spec, err := p.query(id)
+	if err != nil {
+		return engine.QuerySpec{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return engine.QuerySpec{}, err
+	}
+	return spec, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) take() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.take()
+	if !t.isKeyword(kw) {
+		return fmt.Errorf("sspdql: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.take()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sspdql: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectKind(k tokKind, what string) (token, error) {
+	t := p.take()
+	if t.kind != k {
+		return t, fmt.Errorf("sspdql: expected %s at offset %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) query(id string) (engine.QuerySpec, error) {
+	spec := engine.QuerySpec{ID: id}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return spec, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return spec, err
+	}
+	spec.Source = src
+
+	if p.peek().isKeyword("JOIN") {
+		p.take()
+		join, err := p.join()
+		if err != nil {
+			return spec, err
+		}
+		spec.Join = join
+	}
+	if p.peek().isKeyword("WHERE") {
+		p.take()
+		for {
+			f, err := p.pred()
+			if err != nil {
+				return spec, err
+			}
+			spec.Filters = append(spec.Filters, f)
+			if !p.peek().isKeyword("AND") {
+				break
+			}
+			p.take()
+		}
+	}
+	if p.peek().isKeyword("DISTINCT") {
+		p.take()
+		dist, err := p.distinct()
+		if err != nil {
+			return spec, err
+		}
+		spec.Distinct = dist
+	}
+	switch {
+	case p.peek().isKeyword("AGGREGATE"):
+		p.take()
+		agg, err := p.aggregate()
+		if err != nil {
+			return spec, err
+		}
+		spec.Agg = agg
+	case p.peek().isKeyword("TOP"):
+		p.take()
+		topk, err := p.topK()
+		if err != nil {
+			return spec, err
+		}
+		spec.TopK = topk
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return spec, fmt.Errorf("sspdql: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return spec, nil
+}
+
+// distinct parses "BY field [WINDOW w]" after the DISTINCT keyword.
+func (p *parser) distinct() (*engine.DistinctSpec, error) {
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	field, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &engine.DistinctSpec{Field: field}
+	if p.peek().isKeyword("WINDOW") {
+		p.take()
+		w, err := p.window()
+		if err != nil {
+			return nil, err
+		}
+		d.Window = w
+	}
+	return d, nil
+}
+
+// topK parses "k OF field BY key [WINDOW w]" after the TOP keyword.
+func (p *parser) topK() (*engine.TopKSpec, error) {
+	num, err := p.expectKind(tokNumber, "top-k count")
+	if err != nil {
+		return nil, err
+	}
+	k, err := strconv.Atoi(num.text)
+	if err != nil || k < 1 {
+		return nil, fmt.Errorf("sspdql: bad top-k count %q", num.text)
+	}
+	if err := p.expectKeyword("OF"); err != nil {
+		return nil, err
+	}
+	value, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	key, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tk := &engine.TopKSpec{K: k, ValueField: value, KeyField: key}
+	if p.peek().isKeyword("WINDOW") {
+		p.take()
+		w, err := p.window()
+		if err != nil {
+			return nil, err
+		}
+		tk.Window = w
+	}
+	return tk, nil
+}
+
+func (p *parser) join() (*engine.JoinSpec, error) {
+	streamName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	left, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.take(); t.kind != tokOp || t.text != "=" {
+		return nil, fmt.Errorf("sspdql: expected = in join condition at offset %d", t.pos)
+	}
+	right, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	j := &engine.JoinSpec{Stream: streamName, LeftKey: left, RightKey: right}
+	if p.peek().isKeyword("WINDOW") {
+		p.take()
+		w, err := p.window()
+		if err != nil {
+			return nil, err
+		}
+		j.Window = w
+	}
+	return j, nil
+}
+
+func (p *parser) pred() (engine.FilterSpec, error) {
+	field, err := p.expectIdent()
+	if err != nil {
+		return engine.FilterSpec{}, err
+	}
+	t := p.take()
+	switch {
+	case t.isKeyword("BETWEEN"):
+		lo, err := p.number()
+		if err != nil {
+			return engine.FilterSpec{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return engine.FilterSpec{}, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return engine.FilterSpec{}, err
+		}
+		return engine.FilterSpec{Field: field, Lo: lo, Hi: hi}, nil
+	case t.isKeyword("IN"):
+		if _, err := p.expectKind(tokLParen, "("); err != nil {
+			return engine.FilterSpec{}, err
+		}
+		var keys []string
+		for {
+			s, err := p.expectKind(tokString, "string literal")
+			if err != nil {
+				return engine.FilterSpec{}, err
+			}
+			keys = append(keys, s.text)
+			nxt := p.take()
+			if nxt.kind == tokRParen {
+				break
+			}
+			if nxt.kind != tokComma {
+				return engine.FilterSpec{}, fmt.Errorf("sspdql: expected , or ) at offset %d", nxt.pos)
+			}
+		}
+		return engine.FilterSpec{KeyField: field, Keys: keys}, nil
+	case t.kind == tokOp:
+		return p.comparison(field, t.text)
+	default:
+		return engine.FilterSpec{}, fmt.Errorf("sspdql: expected predicate operator at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) comparison(field, op string) (engine.FilterSpec, error) {
+	// `field = 'str'` is a one-element key set.
+	if op == "=" && p.peek().kind == tokString {
+		s := p.take()
+		return engine.FilterSpec{KeyField: field, Keys: []string{s.text}}, nil
+	}
+	v, err := p.number()
+	if err != nil {
+		return engine.FilterSpec{}, err
+	}
+	switch op {
+	case "=":
+		return engine.FilterSpec{Field: field, Lo: v, Hi: v}, nil
+	case "<", "<=":
+		hi := v
+		if op == "<" {
+			hi = math.Nextafter(v, math.Inf(-1))
+		}
+		return engine.FilterSpec{Field: field, Lo: -OpenBound, Hi: hi}, nil
+	case ">", ">=":
+		lo := v
+		if op == ">" {
+			lo = math.Nextafter(v, math.Inf(1))
+		}
+		return engine.FilterSpec{Field: field, Lo: lo, Hi: OpenBound}, nil
+	default:
+		return engine.FilterSpec{}, fmt.Errorf("sspdql: unsupported operator %q", op)
+	}
+}
+
+func (p *parser) aggregate() (*engine.AggSpec, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var fn operator.AggFunc
+	switch strings.ToLower(name) {
+	case "count":
+		fn = operator.AggCount
+	case "sum":
+		fn = operator.AggSum
+	case "avg":
+		fn = operator.AggAvg
+	case "min":
+		fn = operator.AggMin
+	case "max":
+		fn = operator.AggMax
+	default:
+		return nil, fmt.Errorf("sspdql: unknown aggregate function %q", name)
+	}
+	if _, err := p.expectKind(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	agg := &engine.AggSpec{Fn: fn}
+	// count(*) or count() take no field; others need one.
+	if p.peek().kind == tokIdent {
+		f, _ := p.expectIdent()
+		agg.ValueField = f
+	} else if p.peek().kind == tokOp || p.peek().kind == tokNumber {
+		// tolerate count(*) written with any placeholder? keep strict:
+		return nil, fmt.Errorf("sspdql: expected field name or ) in aggregate at offset %d", p.peek().pos)
+	}
+	if _, err := p.expectKind(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if fn != operator.AggCount && agg.ValueField == "" {
+		return nil, fmt.Errorf("sspdql: %s needs a value field", name)
+	}
+	if p.peek().isKeyword("BY") {
+		p.take()
+		g, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		agg.GroupField = g
+	}
+	if p.peek().isKeyword("WINDOW") {
+		p.take()
+		w, err := p.window()
+		if err != nil {
+			return nil, err
+		}
+		agg.Window = w
+	}
+	return agg, nil
+}
+
+// window parses "N" (count), "Ns", "Nms", or "Nm".
+func (p *parser) window() (stream.WindowSpec, error) {
+	num, err := p.expectKind(tokNumber, "window size")
+	if err != nil {
+		return stream.WindowSpec{}, err
+	}
+	// A unit suffix lexes as a following identifier with no space only
+	// if it was split; accept either adjacency or separate ident.
+	if p.peek().kind == tokIdent {
+		unit := strings.ToLower(p.peek().text)
+		var d time.Duration
+		switch unit {
+		case "s":
+			d = time.Second
+		case "ms":
+			d = time.Millisecond
+		case "m":
+			d = time.Minute
+		default:
+			d = 0
+		}
+		if d != 0 {
+			p.take()
+			v, err := strconv.ParseFloat(num.text, 64)
+			if err != nil {
+				return stream.WindowSpec{}, fmt.Errorf("sspdql: bad window size %q", num.text)
+			}
+			return stream.TimeWindow(time.Duration(v * float64(d))), nil
+		}
+	}
+	n, err := strconv.Atoi(num.text)
+	if err != nil || n <= 0 {
+		return stream.WindowSpec{}, fmt.Errorf("sspdql: bad count window %q", num.text)
+	}
+	return stream.CountWindow(n), nil
+}
+
+func (p *parser) number() (float64, error) {
+	t, err := p.expectKind(tokNumber, "number")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sspdql: bad number %q at offset %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+// Format renders a spec back to query text. Parse(Format(spec)) yields
+// an equivalent spec (modulo filter costs and load, which the language
+// does not express).
+func Format(spec engine.QuerySpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FROM %s", spec.Source)
+	if spec.Join != nil {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", spec.Join.Stream, spec.Join.LeftKey, spec.Join.RightKey)
+		b.WriteString(formatWindow(spec.Join.Window))
+	}
+	for i, f := range spec.Filters {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(formatFilter(f))
+	}
+	if spec.Distinct != nil {
+		fmt.Fprintf(&b, " DISTINCT BY %s", spec.Distinct.Field)
+		b.WriteString(formatWindow(spec.Distinct.Window))
+	}
+	if spec.Agg != nil {
+		fmt.Fprintf(&b, " AGGREGATE %s(%s)", spec.Agg.Fn, spec.Agg.ValueField)
+		if spec.Agg.GroupField != "" {
+			fmt.Fprintf(&b, " BY %s", spec.Agg.GroupField)
+		}
+		b.WriteString(formatWindow(spec.Agg.Window))
+	}
+	if spec.TopK != nil {
+		fmt.Fprintf(&b, " TOP %d OF %s BY %s", spec.TopK.K, spec.TopK.ValueField, spec.TopK.KeyField)
+		b.WriteString(formatWindow(spec.TopK.Window))
+	}
+	return b.String()
+}
+
+func formatFilter(f engine.FilterSpec) string {
+	if f.KeyField != "" {
+		keys := make([]string, len(f.Keys))
+		copy(keys, f.Keys)
+		sort.Strings(keys)
+		quoted := make([]string, len(keys))
+		for i, k := range keys {
+			quoted[i] = "'" + k + "'"
+		}
+		// Range+keys filters format as the key part only when no range
+		// is present; both constraints become two predicates.
+		key := fmt.Sprintf("%s IN (%s)", f.KeyField, strings.Join(quoted, ", "))
+		if f.Field == "" {
+			return key
+		}
+		return fmt.Sprintf("%s AND %s", formatRange(f), key)
+	}
+	return formatRange(f)
+}
+
+func formatRange(f engine.FilterSpec) string {
+	switch {
+	case f.Lo <= -OpenBound:
+		return fmt.Sprintf("%s <= %s", f.Field, num(f.Hi))
+	case f.Hi >= OpenBound:
+		return fmt.Sprintf("%s >= %s", f.Field, num(f.Lo))
+	case f.Lo == f.Hi:
+		return fmt.Sprintf("%s = %s", f.Field, num(f.Lo))
+	default:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", f.Field, num(f.Lo), num(f.Hi))
+	}
+}
+
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatWindow(w stream.WindowSpec) string {
+	switch w.Kind {
+	case stream.WindowByTime:
+		if w.Duration == 0 {
+			return ""
+		}
+		if w.Duration%time.Second == 0 {
+			return fmt.Sprintf(" WINDOW %ds", int(w.Duration/time.Second))
+		}
+		return fmt.Sprintf(" WINDOW %dms", int(w.Duration/time.Millisecond))
+	default:
+		if w.Count <= 0 {
+			return ""
+		}
+		return fmt.Sprintf(" WINDOW %d", w.Count)
+	}
+}

@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// unixNano converts unix nanoseconds into a time.Time in UTC so decoded
+// tuples compare equal across machines regardless of local zone.
+func unixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// Binary tuple codec used by the TCP transport. The format is a simple
+// length-delimited little-endian layout matching Tuple.Size exactly, so
+// the simulated and real transports account identical byte counts:
+//
+//	uint32 len(stream) | stream bytes
+//	uint64 seq
+//	int64  ts (unix nanoseconds)
+//	uint16 nvalues
+//	per value: uint8 kind, then 8-byte payload (int/float)
+//	           or uint32 len + bytes (string)
+
+const maxWireString = 1 << 20 // sanity bound when decoding
+
+// AppendTuple encodes t onto dst and returns the extended slice.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Stream)))
+	dst = append(dst, t.Stream...)
+	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts.UnixNano()))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t.Values)))
+	for _, v := range t.Values {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindString:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.s)))
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of buf, returning the
+// tuple and the number of bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	var t Tuple
+	off := 0
+	need := func(n int) error {
+		if len(buf)-off < n {
+			return fmt.Errorf("stream: truncated tuple (need %d bytes at offset %d, have %d)",
+				n, off, len(buf)-off)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return t, 0, err
+	}
+	slen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if slen > maxWireString {
+		return t, 0, fmt.Errorf("stream: stream name length %d exceeds bound", slen)
+	}
+	if err := need(slen + 8 + 8 + 2); err != nil {
+		return t, 0, err
+	}
+	t.Stream = string(buf[off : off+slen])
+	off += slen
+	t.Seq = binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	nanos := int64(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	t.Ts = unixNano(nanos)
+	nvals := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	t.Values = make([]Value, 0, nvals)
+	for i := 0; i < nvals; i++ {
+		if err := need(1); err != nil {
+			return t, 0, err
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindInt:
+			if err := need(8); err != nil {
+				return t, 0, err
+			}
+			t.Values = append(t.Values, Int(int64(binary.LittleEndian.Uint64(buf[off:]))))
+			off += 8
+		case KindFloat:
+			if err := need(8); err != nil {
+				return t, 0, err
+			}
+			t.Values = append(t.Values, Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))))
+			off += 8
+		case KindString:
+			if err := need(4); err != nil {
+				return t, 0, err
+			}
+			n := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if n > maxWireString {
+				return t, 0, fmt.Errorf("stream: string value length %d exceeds bound", n)
+			}
+			if err := need(n); err != nil {
+				return t, 0, err
+			}
+			t.Values = append(t.Values, String(string(buf[off:off+n])))
+			off += n
+		default:
+			return t, 0, fmt.Errorf("stream: unknown value kind %d", kind)
+		}
+	}
+	return t, off, nil
+}
+
+// AppendBatch encodes a batch (count prefix then each tuple).
+func AppendBatch(dst []byte, b Batch) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	for _, t := range b {
+		dst = AppendTuple(dst, t)
+	}
+	return dst
+}
+
+// DecodeBatch decodes a batch from the front of buf, returning the batch
+// and bytes consumed.
+func DecodeBatch(buf []byte) (Batch, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("stream: truncated batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	if n > 1<<24 {
+		return nil, 0, fmt.Errorf("stream: batch count %d exceeds bound", n)
+	}
+	out := make(Batch, 0, n)
+	for i := 0; i < n; i++ {
+		t, used, err := DecodeTuple(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("stream: batch tuple %d: %w", i, err)
+		}
+		out = append(out, t)
+		off += used
+	}
+	return out, off, nil
+}

@@ -1,0 +1,217 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTupleRoundTrip(t *testing.T) {
+	orig := NewTuple("quotes", 42, time.Unix(1000, 999).UTC(),
+		String("ibm"), Float(90.25), Int(-7))
+	enc := AppendTuple(nil, orig)
+	dec, used, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", used, len(enc))
+	}
+	assertTupleEqual(t, orig, dec)
+}
+
+func assertTupleEqual(t *testing.T, want, got Tuple) {
+	t.Helper()
+	if got.Stream != want.Stream || got.Seq != want.Seq || !got.Ts.Equal(want.Ts) {
+		t.Fatalf("header mismatch: got %v/%d/%v want %v/%d/%v",
+			got.Stream, got.Seq, got.Ts, want.Stream, want.Seq, want.Ts)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("arity %d != %d", len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if !got.Values[i].Equal(want.Values[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestTupleRoundTripEmptyValues(t *testing.T) {
+	orig := NewTuple("s", 1, time.Unix(5, 0).UTC())
+	dec, _, err := DecodeTuple(AppendTuple(nil, orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Values) != 0 {
+		t.Fatalf("values = %v, want empty", dec.Values)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{
+		NewTuple("a", 1, time.Unix(1, 0).UTC(), Int(1)),
+		NewTuple("b", 2, time.Unix(2, 0).UTC(), String("x"), Float(2)),
+	}
+	enc := AppendBatch(nil, b)
+	dec, used, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d", used, len(enc))
+	}
+	if len(dec) != 2 {
+		t.Fatalf("decoded %d tuples", len(dec))
+	}
+	assertTupleEqual(t, b[0], dec[0])
+	assertTupleEqual(t, b[1], dec[1])
+}
+
+func TestDecodeTupleTruncated(t *testing.T) {
+	full := AppendTuple(nil, NewTuple("quotes", 1, time.Unix(1, 0).UTC(),
+		String("ibm"), Float(1), Int(2)))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeTuple(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeBatchTruncated(t *testing.T) {
+	full := AppendBatch(nil, Batch{NewTuple("s", 1, time.Unix(1, 0).UTC(), Int(1))})
+	if _, _, err := DecodeBatch(full[:3]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, _, err := DecodeBatch(full[:len(full)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestDecodeTupleBadKind(t *testing.T) {
+	enc := AppendTuple(nil, NewTuple("s", 1, time.Unix(1, 0).UTC(), Int(7)))
+	// Corrupt the value kind byte (last 9 bytes are kind + int payload).
+	enc[len(enc)-9] = 0xFF
+	if _, _, err := DecodeTuple(enc); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestDecodeBoundsChecks(t *testing.T) {
+	// Absurd stream length must be rejected before allocation.
+	var enc []byte
+	enc = append(enc, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, _, err := DecodeTuple(enc); err == nil {
+		t.Fatal("absurd stream length accepted")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary well-formed tuples.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(stream string, seq uint64, nanos int64, i int64, fl float64, s string) bool {
+		if len(stream) > 1000 || len(s) > 1000 {
+			return true
+		}
+		orig := NewTuple(stream, seq, time.Unix(0, nanos).UTC(),
+			Int(i), Float(fl), String(s))
+		enc := AppendTuple(nil, orig)
+		if len(enc) != orig.Size() {
+			return false
+		}
+		dec, used, err := DecodeTuple(enc)
+		if err != nil || used != len(enc) {
+			return false
+		}
+		if dec.Stream != orig.Stream || dec.Seq != orig.Seq || !dec.Ts.Equal(orig.Ts) {
+			return false
+		}
+		for j := range orig.Values {
+			if !dec.Values[j].Equal(orig.Values[j]) {
+				// NaN floats don't compare equal; accept NaN payloads.
+				if orig.Values[j].Kind() == KindFloat &&
+					orig.Values[j].AsFloat() != orig.Values[j].AsFloat() &&
+					dec.Values[j].AsFloat() != dec.Values[j].AsFloat() {
+					continue
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateEstimator(t *testing.T) {
+	r := NewRateEstimator(4 * time.Second)
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	for i := 0; i < 8; i++ {
+		r.Record(100)
+	}
+	now = now.Add(time.Second)
+	for i := 0; i < 4; i++ {
+		r.Record(50)
+	}
+	tps, bps := r.Rates()
+	// 12 tuples, 1000 bytes over a 4-second horizon.
+	if tps != 3 {
+		t.Errorf("tps = %v, want 3", tps)
+	}
+	if bps != 250 {
+		t.Errorf("bps = %v, want 250", bps)
+	}
+	if got := r.LastArrival(); !got.Equal(now) {
+		t.Errorf("last arrival = %v, want %v", got, now)
+	}
+	// After the horizon passes, rates decay to zero.
+	now = now.Add(10 * time.Second)
+	tps, bps = r.Rates()
+	if tps != 0 || bps != 0 {
+		t.Errorf("stale rates = %v,%v, want 0,0", tps, bps)
+	}
+}
+
+func TestRateEstimatorMinimumHorizon(t *testing.T) {
+	r := NewRateEstimator(0)
+	now := time.Unix(0, 0)
+	r.SetClock(func() time.Time { return now })
+	r.Record(10)
+	tps, bps := r.Rates()
+	if tps != 1 || bps != 10 {
+		t.Errorf("rates = %v,%v, want 1,10", tps, bps)
+	}
+}
+
+func TestRateEstimatorBucketReuse(t *testing.T) {
+	// After the ring wraps, an old bucket must be reset, not accumulated.
+	r := NewRateEstimator(2 * time.Second)
+	now := time.Unix(100, 0)
+	r.SetClock(func() time.Time { return now })
+	r.Record(100)
+	now = now.Add(2 * time.Second) // same bucket index, different second
+	r.Record(1)
+	_, bps := r.Rates()
+	if bps != 0.5 { // only the new record counts: 1 byte / 2s
+		t.Errorf("bps = %v, want 0.5", bps)
+	}
+}
+
+func BenchmarkAppendTuple(b *testing.B) {
+	tu := NewTuple("quotes", 1, time.Unix(1, 0), String("ibm"), Float(90.5), Int(100))
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTuple(buf[:0], tu)
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	enc := AppendTuple(nil, NewTuple("quotes", 1, time.Unix(1, 0), String("ibm"), Float(90.5), Int(100)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

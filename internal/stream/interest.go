@@ -1,0 +1,395 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Range is a closed numeric interval [Lo, Hi] constraining one field.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// Empty reports whether the range contains no values.
+func (r Range) Empty() bool { return r.Hi < r.Lo }
+
+// Width returns Hi-Lo, or 0 for an empty range.
+func (r Range) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// Intersect returns the overlap of two ranges (possibly empty).
+func (r Range) Intersect(o Range) Range {
+	return Range{Lo: math.Max(r.Lo, o.Lo), Hi: math.Min(r.Hi, o.Hi)}
+}
+
+// Union returns the smallest range covering both (the bounding interval).
+func (r Range) Union(o Range) Range {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Range{Lo: math.Min(r.Lo, o.Lo), Hi: math.Max(r.Hi, o.Hi)}
+}
+
+// Interest is the paper's "data interest": a conjunctive predicate that
+// describes the subset of one stream a query (or an entity, after
+// aggregation) requires. Each constrained field carries either a numeric
+// Range or a string membership set; unconstrained fields match anything.
+//
+// Interests are the vocabulary with which entities express requirements
+// to their dissemination-tree ancestors (early filtering, Section 3.1) and
+// from which query-graph edge weights are estimated (Section 3.2.2).
+type Interest struct {
+	// Stream names the stream this interest applies to.
+	Stream string
+	// Ranges constrains numeric fields by name.
+	Ranges map[string]Range
+	// Keys constrains string fields by name to a set of allowed values.
+	Keys map[string]map[string]bool
+}
+
+// NewInterest returns an unconstrained interest in the named stream
+// (i.e. "all of it").
+func NewInterest(streamName string) Interest {
+	return Interest{Stream: streamName}
+}
+
+// WithRange returns a copy of the interest with a numeric range
+// constraint added (replacing any prior constraint on the field).
+func (in Interest) WithRange(field string, lo, hi float64) Interest {
+	out := in.Clone()
+	if out.Ranges == nil {
+		out.Ranges = make(map[string]Range, 1)
+	}
+	out.Ranges[field] = Range{Lo: lo, Hi: hi}
+	return out
+}
+
+// WithKeys returns a copy of the interest constraining a string field to
+// the given set of values.
+func (in Interest) WithKeys(field string, keys ...string) Interest {
+	out := in.Clone()
+	if out.Keys == nil {
+		out.Keys = make(map[string]map[string]bool, 1)
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	out.Keys[field] = set
+	return out
+}
+
+// Clone returns a deep copy of the interest.
+func (in Interest) Clone() Interest {
+	out := Interest{Stream: in.Stream}
+	if in.Ranges != nil {
+		out.Ranges = make(map[string]Range, len(in.Ranges))
+		for k, v := range in.Ranges {
+			out.Ranges[k] = v
+		}
+	}
+	if in.Keys != nil {
+		out.Keys = make(map[string]map[string]bool, len(in.Keys))
+		for f, set := range in.Keys {
+			cp := make(map[string]bool, len(set))
+			for k := range set {
+				cp[k] = true
+			}
+			out.Keys[f] = cp
+		}
+	}
+	return out
+}
+
+// Unconstrained reports whether the interest matches every tuple of its
+// stream.
+func (in Interest) Unconstrained() bool { return len(in.Ranges) == 0 && len(in.Keys) == 0 }
+
+// Matches reports whether the tuple satisfies the interest. A tuple from
+// a different stream never matches. Constraints naming fields absent from
+// the schema do not match (a conservative choice that surfaces schema
+// drift in tests rather than silently passing data through).
+func (in Interest) Matches(s *Schema, t Tuple) bool {
+	if t.Stream != in.Stream {
+		return false
+	}
+	for field, r := range in.Ranges {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			return false
+		}
+		if !r.Contains(t.Value(i).AsFloat()) {
+			return false
+		}
+	}
+	for field, set := range in.Keys {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			return false
+		}
+		if !set[t.Value(i).AsString()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Selectivity estimates the fraction of the stream the interest selects,
+// assuming independent, uniformly distributed fields over the schema's
+// declared domains. Fields with no declared domain contribute factor 1.
+func (in Interest) Selectivity(s *Schema) float64 {
+	sel := 1.0
+	for field, r := range in.Ranges {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			return 0
+		}
+		f := s.Field(i)
+		w := f.DomainWidth()
+		if w <= 0 {
+			continue
+		}
+		clipped := r.Intersect(Range{Lo: f.Lo, Hi: f.Hi})
+		sel *= clipped.Width() / w
+	}
+	for field, set := range in.Keys {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			return 0
+		}
+		f := s.Field(i)
+		if f.Card <= 0 {
+			continue
+		}
+		frac := float64(len(set)) / float64(f.Card)
+		if frac > 1 {
+			frac = 1
+		}
+		sel *= frac
+	}
+	return sel
+}
+
+// Overlap estimates the fraction of the stream that satisfies BOTH
+// interests — the quantity the paper multiplies by the stream arrival
+// rate to weight query-graph edges. Interests in different streams never
+// overlap.
+func Overlap(a, b Interest, s *Schema) float64 {
+	if a.Stream != b.Stream {
+		return 0
+	}
+	return a.intersect(b).Selectivity(s)
+}
+
+// intersect returns the conjunction of two interests in the same stream.
+func (in Interest) intersect(o Interest) Interest {
+	out := in.Clone()
+	for field, r := range o.Ranges {
+		if out.Ranges == nil {
+			out.Ranges = make(map[string]Range)
+		}
+		if existing, ok := out.Ranges[field]; ok {
+			out.Ranges[field] = existing.Intersect(r)
+		} else {
+			out.Ranges[field] = r
+		}
+	}
+	for field, set := range o.Keys {
+		if out.Keys == nil {
+			out.Keys = make(map[string]map[string]bool)
+		}
+		if existing, ok := out.Keys[field]; ok {
+			merged := make(map[string]bool)
+			for k := range set {
+				if existing[k] {
+					merged[k] = true
+				}
+			}
+			out.Keys[field] = merged
+		} else {
+			cp := make(map[string]bool, len(set))
+			for k := range set {
+				cp[k] = true
+			}
+			out.Keys[field] = cp
+		}
+	}
+	return out
+}
+
+// Cover returns the smallest conjunctive interest containing both inputs:
+// per-field bounding ranges and key-set unions; a field constrained in
+// only one input becomes unconstrained (any widening is safe for early
+// filtering — ancestors may forward too much, never too little).
+func Cover(a, b Interest) Interest {
+	if a.Stream != b.Stream {
+		// Covering across streams is meaningless; return an
+		// unconstrained interest in a's stream as the safe answer.
+		return NewInterest(a.Stream)
+	}
+	out := NewInterest(a.Stream)
+	for field, ra := range a.Ranges {
+		rb, ok := b.Ranges[field]
+		if !ok {
+			continue // unconstrained in b -> unconstrained in cover
+		}
+		if out.Ranges == nil {
+			out.Ranges = make(map[string]Range)
+		}
+		out.Ranges[field] = ra.Union(rb)
+	}
+	for field, sa := range a.Keys {
+		sb, ok := b.Keys[field]
+		if !ok {
+			continue
+		}
+		merged := make(map[string]bool, len(sa)+len(sb))
+		for k := range sa {
+			merged[k] = true
+		}
+		for k := range sb {
+			merged[k] = true
+		}
+		if out.Keys == nil {
+			out.Keys = make(map[string]map[string]bool)
+		}
+		out.Keys[field] = merged
+	}
+	return out
+}
+
+// String renders the interest for logs: "stream{field in [lo,hi], ...}".
+func (in Interest) String() string {
+	if in.Unconstrained() {
+		return in.Stream + "{*}"
+	}
+	var parts []string
+	for field, r := range in.Ranges {
+		parts = append(parts, fmt.Sprintf("%s in [%g,%g]", field, r.Lo, r.Hi))
+	}
+	for field, set := range in.Keys {
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts = append(parts, fmt.Sprintf("%s in {%s}", field, strings.Join(keys, ",")))
+	}
+	sort.Strings(parts)
+	return in.Stream + "{" + strings.Join(parts, ", ") + "}"
+}
+
+// InterestSet is a disjunction of interests in one stream. A
+// dissemination-tree node aggregates the interests registered by its
+// children into an InterestSet and forwards a tuple downward iff any term
+// matches. To bound the per-tuple filtering cost the set can be
+// simplified: terms are merged (covered) once the set grows beyond a
+// limit, trading filtering precision for evaluation speed — widening is
+// always safe.
+type InterestSet struct {
+	// Stream names the stream all terms apply to.
+	Stream string
+	// Terms holds the disjuncts. An empty Terms matches nothing.
+	Terms []Interest
+}
+
+// NewInterestSet returns an empty set for the named stream.
+func NewInterestSet(streamName string) *InterestSet {
+	return &InterestSet{Stream: streamName}
+}
+
+// Add inserts one interest. Interests for other streams are ignored.
+func (s *InterestSet) Add(in Interest) {
+	if in.Stream != s.Stream {
+		return
+	}
+	s.Terms = append(s.Terms, in.Clone())
+}
+
+// Matches reports whether any term matches the tuple.
+func (s *InterestSet) Matches(sc *Schema, t Tuple) bool {
+	for _, term := range s.Terms {
+		if term.Matches(sc, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the set has no terms (matches nothing).
+func (s *InterestSet) Empty() bool { return len(s.Terms) == 0 }
+
+// Cover returns a single conjunctive interest containing every term, or
+// an unconstrained interest when the set is empty (the safe default for
+// an ancestor that has no information).
+func (s *InterestSet) Cover() Interest {
+	if len(s.Terms) == 0 {
+		return NewInterest(s.Stream)
+	}
+	out := s.Terms[0].Clone()
+	for _, term := range s.Terms[1:] {
+		out = Cover(out, term)
+	}
+	return out
+}
+
+// Selectivity estimates the fraction of the stream matched by the
+// disjunction using inclusion bounded by 1 (terms may overlap, so this is
+// an upper bound; exact for disjoint terms).
+func (s *InterestSet) Selectivity(sc *Schema) float64 {
+	sum := 0.0
+	for _, term := range s.Terms {
+		sum += term.Selectivity(sc)
+		if sum >= 1 {
+			return 1
+		}
+	}
+	return sum
+}
+
+// Simplify reduces the set to at most maxTerms terms by repeatedly
+// merging the pair of terms whose cover has the least selectivity
+// increase over the schema. maxTerms < 1 collapses to a single cover.
+func (s *InterestSet) Simplify(sc *Schema, maxTerms int) {
+	if maxTerms < 1 {
+		maxTerms = 1
+	}
+	for len(s.Terms) > maxTerms {
+		bestI, bestJ := 0, 1
+		bestCost := math.Inf(1)
+		for i := 0; i < len(s.Terms); i++ {
+			for j := i + 1; j < len(s.Terms); j++ {
+				cov := Cover(s.Terms[i], s.Terms[j])
+				cost := cov.Selectivity(sc) -
+					s.Terms[i].Selectivity(sc) - s.Terms[j].Selectivity(sc)
+				if cost < bestCost {
+					bestCost, bestI, bestJ = cost, i, j
+				}
+			}
+		}
+		merged := Cover(s.Terms[bestI], s.Terms[bestJ])
+		s.Terms[bestI] = merged
+		s.Terms = append(s.Terms[:bestJ], s.Terms[bestJ+1:]...)
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *InterestSet) Clone() *InterestSet {
+	out := NewInterestSet(s.Stream)
+	for _, t := range s.Terms {
+		out.Terms = append(out.Terms, t.Clone())
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// RateEstimator tracks the arrival rate of a stream in tuples/second and
+// bytes/second over a sliding horizon. The inter-entity layer uses these
+// estimates to weight query-graph edges and the Adaptation Module uses
+// them to pick downstream processors.
+type RateEstimator struct {
+	mu      sync.Mutex
+	horizon time.Duration
+	// buckets holds per-interval tallies, one bucket per second of the
+	// horizon, cycled by wall-clock second.
+	buckets []rateBucket
+	last    time.Time
+	now     func() time.Time // injectable clock for tests
+}
+
+type rateBucket struct {
+	sec    int64 // unix second this bucket currently represents
+	tuples int64
+	bytes  int64
+}
+
+// NewRateEstimator returns an estimator averaging over the given horizon
+// (minimum one second).
+func NewRateEstimator(horizon time.Duration) *RateEstimator {
+	if horizon < time.Second {
+		horizon = time.Second
+	}
+	n := int(horizon / time.Second)
+	return &RateEstimator{
+		horizon: horizon,
+		buckets: make([]rateBucket, n),
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the wall clock; tests use it for determinism.
+func (r *RateEstimator) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Record notes the arrival of one tuple of the given encoded size.
+func (r *RateEstimator) Record(size int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	sec := now.Unix()
+	b := &r.buckets[int(sec)%len(r.buckets)]
+	if b.sec != sec {
+		b.sec = sec
+		b.tuples = 0
+		b.bytes = 0
+	}
+	b.tuples++
+	b.bytes += int64(size)
+	r.last = now
+}
+
+// Rates returns the estimated (tuples/second, bytes/second) averaged over
+// the horizon.
+func (r *RateEstimator) Rates() (tps, bps float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sec := r.now().Unix()
+	var tuples, bytes int64
+	for _, b := range r.buckets {
+		// Only count buckets that fall inside the current horizon.
+		if b.sec > sec-int64(len(r.buckets)) && b.sec <= sec {
+			tuples += b.tuples
+			bytes += b.bytes
+		}
+	}
+	secs := float64(len(r.buckets))
+	return float64(tuples) / secs, float64(bytes) / secs
+}
+
+// LastArrival returns the time of the most recent Record call.
+func (r *RateEstimator) LastArrival() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Tuple is one data item on a stream. Tuples are value types; operators
+// that modify a tuple must copy Values first (see Clone).
+type Tuple struct {
+	// Stream names the stream the tuple belongs to.
+	Stream string
+	// Seq is the source-assigned sequence number, unique per stream.
+	Seq uint64
+	// Ts is the event timestamp assigned by the source.
+	Ts time.Time
+	// Values holds the attribute values in schema order.
+	Values []Value
+}
+
+// NewTuple constructs a tuple on the named stream.
+func NewTuple(streamName string, seq uint64, ts time.Time, values ...Value) Tuple {
+	return Tuple{Stream: streamName, Seq: seq, Ts: ts, Values: values}
+}
+
+// Clone returns a deep copy of the tuple (Values slice is copied).
+func (t Tuple) Clone() Tuple {
+	vs := make([]Value, len(t.Values))
+	copy(vs, t.Values)
+	t.Values = vs
+	return t
+}
+
+// Value returns the i-th attribute, or an invalid Value when out of range.
+func (t Tuple) Value(i int) Value {
+	if i < 0 || i >= len(t.Values) {
+		return Value{}
+	}
+	return t.Values[i]
+}
+
+// Size returns the tuple's encoded size in bytes. It is the unit of the
+// communication-cost accounting throughout the system (the paper weighs
+// query-graph edges in bytes/second).
+func (t Tuple) Size() int {
+	n := 4 + len(t.Stream) + 8 + 8 + 2 // stream, seq, ts(unixnano), nvalues
+	for _, v := range t.Values {
+		n += v.wireSize()
+	}
+	return n
+}
+
+// String renders the tuple compactly for logs and debugging.
+func (t Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d[", t.Stream, t.Seq)
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Batch is a slice of tuples shipped as one message. Batching amortizes
+// per-message transport overhead on high-rate streams.
+type Batch []Tuple
+
+// Size returns the total encoded size of the batch in bytes.
+func (b Batch) Size() int {
+	n := 4 // count prefix
+	for _, t := range b {
+		n += t.Size()
+	}
+	return n
+}

@@ -1,0 +1,183 @@
+// Package stream defines the data model shared by every layer of sspd:
+// typed tuples flowing on named streams, stream schemas (the paper assumes
+// a known global schema), sliding windows, and "data interest" predicates
+// with which entities describe the subset of a stream their queries need
+// (Section 3.1 of the paper). Interests support aggregation up a
+// dissemination tree and overlap estimation, which supplies the edge
+// weights of the query graph (Section 3.2.2).
+package stream
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the primitive attribute types of the global schema.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value is invalid.
+// Values are small and intended to be passed by value.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns a Value holding an int64.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a Value holding a float64.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a Value holding a string.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds data of any kind.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the int64 payload; it is 0 unless Kind is KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as float64. Int values are
+// converted; non-numeric values yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload; it is "" unless Kind is KindString.
+func (v Value) AsString() string { return v.s }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports deep equality between two values. An int and a float
+// comparing numerically equal are not Equal; kinds must match.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	default:
+		return true
+	}
+}
+
+// Compare orders two values of the same kind: -1 if v < o, 0 if equal,
+// +1 if v > o. Numeric kinds compare by AsFloat so ints and floats are
+// mutually comparable; comparing a string with a numeric value orders the
+// numeric value first.
+func (v Value) Compare(o Value) int {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind == KindString && o.kind == KindString {
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Mixed string/numeric: numerics sort first, invalid sorts before all.
+	if v.kind == o.kind {
+		return 0
+	}
+	if v.kind < o.kind {
+		return -1
+	}
+	return 1
+}
+
+// wireSize returns the encoded size of the value in bytes, used for
+// communication-cost accounting and the binary codec.
+func (v Value) wireSize() int {
+	switch v.kind {
+	case KindInt, KindFloat:
+		return 1 + 8
+	case KindString:
+		return 1 + 4 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "<invalid>"
+	}
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	return fmt.Sprintf("stream.%s(%s)", kindConstructor(v.kind), v)
+}
+
+func kindConstructor(k Kind) string {
+	switch k {
+	case KindInt:
+		return "Int"
+	case KindFloat:
+		return "Float"
+	case KindString:
+		return "String"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{String("ibm"), KindString},
+		{Value{}, KindInvalid},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %#v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if Int(42).AsInt() != 42 {
+		t.Error("AsInt lost value")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Error("AsFloat lost value")
+	}
+	if Int(7).AsFloat() != 7 {
+		t.Error("int AsFloat conversion failed")
+	}
+	if String("x").AsString() != "x" {
+		t.Error("AsString lost value")
+	}
+	if String("x").AsFloat() != 0 {
+		t.Error("string AsFloat should be 0")
+	}
+	if (Value{}).IsValid() {
+		t.Error("zero value should be invalid")
+	}
+	if !Int(0).IsValid() {
+		t.Error("Int(0) should be valid")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) {
+		t.Error("Int(5) != Int(5)")
+	}
+	if Int(5).Equal(Float(5)) {
+		t.Error("Int(5) should not Equal Float(5): kinds differ")
+	}
+	if Int(5).Equal(Int(6)) {
+		t.Error("Int(5) == Int(6)")
+	}
+	if !String("a").Equal(String("a")) {
+		t.Error("strings not equal")
+	}
+	if !(Value{}).Equal(Value{}) {
+		t.Error("invalid values should be equal")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.5), -1},
+		{Float(2.5), Int(2), 1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Int(1), String("a"), -1},  // numeric sorts before string
+		{String("a"), Float(1), 1}, // and vice versa
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{String("msft"), "msft"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueWireSize(t *testing.T) {
+	if got := Int(1).wireSize(); got != 9 {
+		t.Errorf("int wire size = %d, want 9", got)
+	}
+	if got := Float(1).wireSize(); got != 9 {
+		t.Errorf("float wire size = %d, want 9", got)
+	}
+	if got := String("abc").wireSize(); got != 1+4+3 {
+		t.Errorf("string wire size = %d, want 8", got)
+	}
+}
+
+// Property: Compare is antisymmetric for numeric values.
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		return Float(a).Compare(Float(b)) == -Float(b).Compare(Float(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: int/float numeric comparison agrees with float ordering.
+func TestValueNumericCompareProperty(t *testing.T) {
+	f := func(a int32, b float32) bool {
+		got := Int(int64(a)).Compare(Float(float64(b)))
+		af, bf := float64(a), float64(b)
+		want := 0
+		if af < bf {
+			want = -1
+		} else if af > bf {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package workload generates the synthetic streams and query streams the
+// experiments run on. The paper motivates the system with financial
+// monitoring (stock tickers) and network management; no 2006 traces are
+// publicly available, so the generators reproduce their structure
+// instead: keyed tuple streams with zipf-skewed key popularity, and
+// query streams whose data interests cluster into overlapping groups
+// (many clients watching the same hot symbols), which is exactly the
+// structure the query-graph partitioner exploits.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+// Quotes is the stock-ticker schema: symbol, price, volume.
+func Quotes(symbols int) *stream.Schema {
+	return stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: symbols},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 1000},
+		stream.Field{Name: "volume", Type: stream.KindInt, Lo: 0, Hi: 1e6},
+	)
+}
+
+// Trades is the companion trade stream: symbol, qty.
+func Trades(symbols int) *stream.Schema {
+	return stream.MustSchema("trades",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: symbols},
+		stream.Field{Name: "qty", Type: stream.KindInt, Lo: 0, Hi: 1e6},
+	)
+}
+
+// Flows is the network-management schema: source, destination, bytes,
+// latency in milliseconds.
+func Flows(hosts int) *stream.Schema {
+	return stream.MustSchema("flows",
+		stream.Field{Name: "src", Type: stream.KindString, Card: hosts},
+		stream.Field{Name: "dst", Type: stream.KindString, Card: hosts},
+		stream.Field{Name: "bytes", Type: stream.KindInt, Lo: 0, Hi: 1e9},
+		stream.Field{Name: "latency_ms", Type: stream.KindFloat, Lo: 0, Hi: 1000},
+	)
+}
+
+// Catalog returns the global schema catalog over all generator streams.
+func Catalog(symbols, hosts int) *stream.Catalog {
+	c := stream.NewCatalog()
+	for _, s := range []*stream.Schema{Quotes(symbols), Trades(symbols), Flows(hosts)} {
+		if err := c.Register(s); err != nil {
+			panic(err) // distinct literal names; cannot collide
+		}
+	}
+	return c
+}
+
+// Ticker generates the quotes stream: zipf-popular symbols whose prices
+// random-walk inside per-symbol bands. Deterministic for a given seed.
+type Ticker struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	symbols []string
+	price   []float64
+	seq     uint64
+	now     time.Time
+}
+
+// NewTicker creates a generator over n symbols. skew > 1 controls zipf
+// steepness (1.1 = mild, 2 = strong).
+func NewTicker(seed int64, n int, skew float64) *Ticker {
+	if n < 1 {
+		n = 1
+	}
+	if skew <= 1 {
+		skew = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	symbols := make([]string, n)
+	price := make([]float64, n)
+	for i := range symbols {
+		symbols[i] = fmt.Sprintf("S%04d", i)
+		price[i] = 100 + rng.Float64()*800
+	}
+	return &Ticker{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, skew, 1, uint64(n-1)),
+		symbols: symbols,
+		price:   price,
+		now:     time.Unix(1_000_000, 0).UTC(),
+	}
+}
+
+// Symbols returns the symbol universe.
+func (t *Ticker) Symbols() []string {
+	out := make([]string, len(t.symbols))
+	copy(out, t.symbols)
+	return out
+}
+
+// Next produces the next quote tuple.
+func (t *Ticker) Next() stream.Tuple {
+	i := int(t.zipf.Uint64())
+	// Price random walk, clamped to the schema domain.
+	t.price[i] += (t.rng.Float64() - 0.5) * 10
+	if t.price[i] < 0 {
+		t.price[i] = 0
+	}
+	if t.price[i] > 1000 {
+		t.price[i] = 1000
+	}
+	t.seq++
+	t.now = t.now.Add(time.Millisecond)
+	return stream.NewTuple("quotes", t.seq, t.now,
+		stream.String(t.symbols[i]),
+		stream.Float(t.price[i]),
+		stream.Int(int64(t.rng.Intn(1e6))),
+	)
+}
+
+// NextTrade produces a trade tuple correlated with the ticker's symbols.
+func (t *Ticker) NextTrade() stream.Tuple {
+	i := int(t.zipf.Uint64())
+	t.seq++
+	t.now = t.now.Add(time.Millisecond)
+	return stream.NewTuple("trades", t.seq, t.now,
+		stream.String(t.symbols[i]),
+		stream.Int(int64(t.rng.Intn(1e6))),
+	)
+}
+
+// Batch produces n quote tuples.
+func (t *Ticker) Batch(n int) stream.Batch {
+	out := make(stream.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.Next())
+	}
+	return out
+}
+
+// FlowGen generates the network-management stream.
+type FlowGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	hosts []string
+	seq   uint64
+	now   time.Time
+}
+
+// NewFlowGen creates a flow generator over n hosts.
+func NewFlowGen(seed int64, n int) *FlowGen {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hosts := make([]string, n)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%03d", i)
+	}
+	return &FlowGen{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, 1.3, 1, uint64(n-1)),
+		hosts: hosts,
+		now:   time.Unix(2_000_000, 0).UTC(),
+	}
+}
+
+// Next produces the next flow tuple.
+func (g *FlowGen) Next() stream.Tuple {
+	src := int(g.zipf.Uint64())
+	dst := g.rng.Intn(len(g.hosts))
+	g.seq++
+	g.now = g.now.Add(time.Millisecond)
+	return stream.NewTuple("flows", g.seq, g.now,
+		stream.String(g.hosts[src]),
+		stream.String(g.hosts[dst]),
+		stream.Int(int64(g.rng.Intn(1e9))),
+		stream.Float(g.rng.Float64()*1000),
+	)
+}
+
+// Batch produces n flow tuples.
+func (g *FlowGen) Batch(n int) stream.Batch {
+	out := make(stream.Batch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// QueryGen produces a stream of continuous-query specs whose data
+// interests form overlapping groups: queries in the same group watch the
+// same hot symbols and nearby price bands. Groups is the number of
+// interest communities; overlap in [0,1] is the chance a query also
+// watches a second group's symbols.
+type QueryGen struct {
+	rng      *rand.Rand
+	symbols  []string
+	groups   int
+	overlap  float64
+	perGroup int
+	next     int
+}
+
+// NewQueryGen builds a generator over the ticker's symbol universe.
+func NewQueryGen(seed int64, symbols []string, groups int, overlap float64) *QueryGen {
+	if groups < 1 {
+		groups = 1
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
+	perGroup := len(symbols) / groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	return &QueryGen{
+		rng:      rand.New(rand.NewSource(seed)),
+		symbols:  symbols,
+		groups:   groups,
+		overlap:  overlap,
+		perGroup: perGroup,
+	}
+}
+
+// groupSymbols returns a few symbols from the given group.
+func (g *QueryGen) groupSymbols(group, n int) []string {
+	base := group * g.perGroup
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		idx := base + g.rng.Intn(g.perGroup)
+		if idx >= len(g.symbols) {
+			idx = len(g.symbols) - 1
+		}
+		out = append(out, g.symbols[idx])
+	}
+	return out
+}
+
+// Next produces the next query spec: a symbol-set filter plus a price
+// band, sometimes a windowed aggregate, rarely a join with trades.
+func (g *QueryGen) Next() engine.QuerySpec {
+	g.next++
+	group := g.rng.Intn(g.groups)
+	keys := g.groupSymbols(group, 2+g.rng.Intn(4))
+	if g.rng.Float64() < g.overlap {
+		keys = append(keys, g.groupSymbols((group+1)%g.groups, 2)...)
+	}
+	// Price bands cluster per group so range overlap also correlates.
+	bandLo := float64(group) * (1000 / float64(g.groups))
+	lo := bandLo + g.rng.Float64()*100
+	hi := lo + 50 + g.rng.Float64()*200
+	if hi > 1000 {
+		hi = 1000
+	}
+	spec := engine.QuerySpec{
+		ID:     fmt.Sprintf("q%05d", g.next),
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{KeyField: "symbol", Keys: keys, Cost: 1},
+			{Field: "price", Lo: lo, Hi: hi, Cost: 1},
+		},
+		Load: 1 + g.rng.Float64()*9,
+	}
+	switch {
+	case g.rng.Float64() < 0.2:
+		spec.Agg = &engine.AggSpec{
+			Fn: operator.AggAvg, ValueField: "price", GroupField: "symbol",
+			Window: stream.CountWindow(64), Cost: 2,
+		}
+	case g.rng.Float64() < 0.1:
+		spec.Join = &engine.JoinSpec{
+			Stream: "trades", LeftKey: "symbol", RightKey: "symbol",
+			Window: stream.CountWindow(32), Cost: 3,
+		}
+	}
+	return spec
+}
+
+// Specs produces n query specs.
+func (g *QueryGen) Specs(n int) []engine.QuerySpec {
+	out := make([]engine.QuerySpec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}

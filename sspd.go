@@ -1,0 +1,209 @@
+package sspd
+
+import (
+	"time"
+
+	"sspd/internal/core"
+	"sspd/internal/dissemination"
+	"sspd/internal/engine"
+	"sspd/internal/entity"
+	"sspd/internal/operator"
+	"sspd/internal/querygraph"
+	"sspd/internal/simnet"
+	"sspd/internal/sspdql"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+// Data-model surface.
+type (
+	// Tuple is one data item on a stream.
+	Tuple = stream.Tuple
+	// Batch is a slice of tuples shipped together.
+	Batch = stream.Batch
+	// Value is a dynamically typed attribute value.
+	Value = stream.Value
+	// Schema is a stream's typed layout.
+	Schema = stream.Schema
+	// Field describes one schema attribute.
+	Field = stream.Field
+	// Catalog is the global schema registry all entities share.
+	Catalog = stream.Catalog
+	// Interest is a data-interest predicate over one stream.
+	Interest = stream.Interest
+	// WindowSpec describes a sliding window.
+	WindowSpec = stream.WindowSpec
+)
+
+// Value constructors and schema helpers re-exported from the data model.
+var (
+	Int       = stream.Int
+	Float     = stream.Float
+	String    = stream.String
+	NewTuple  = stream.NewTuple
+	NewSchema = stream.NewSchema
+)
+
+// Window constructors.
+var (
+	CountWindow = stream.CountWindow
+	TimeWindow  = stream.TimeWindow
+)
+
+// Query surface: the declarative specs entities exchange.
+type (
+	// QuerySpec declares one continuous query.
+	QuerySpec = engine.QuerySpec
+	// FilterSpec is one commutable predicate step.
+	FilterSpec = engine.FilterSpec
+	// AggSpec is an optional terminal windowed aggregate.
+	AggSpec = engine.AggSpec
+	// JoinSpec is an optional head window join.
+	JoinSpec = engine.JoinSpec
+	// AggFunc selects the aggregate function.
+	AggFunc = operator.AggFunc
+	// EngineFactory builds a processing engine for one processor.
+	EngineFactory = entity.EngineFactory
+	// Processor is the engine interface every entity implements.
+	Processor = engine.Processor
+)
+
+// Aggregate functions.
+const (
+	AggCount = operator.AggCount
+	AggSum   = operator.AggSum
+	AggAvg   = operator.AggAvg
+	AggMin   = operator.AggMin
+	AggMax   = operator.AggMax
+)
+
+// Network surface.
+type (
+	// Point is a location in the synthetic coordinate space.
+	Point = simnet.Point
+	// NodeID names a transport endpoint.
+	NodeID = simnet.NodeID
+	// Transport moves messages between nodes and meters bytes.
+	Transport = simnet.Transport
+	// SimNet is the in-process simulated network.
+	SimNet = simnet.SimNet
+	// TCPNet is the real-socket transport.
+	TCPNet = simnet.TCPNet
+	// LatencyModel maps a link to a delivery delay.
+	LatencyModel = simnet.LatencyModel
+)
+
+// Transport constructors.
+var (
+	NewSimNet       = simnet.NewSim
+	NewTCPNet       = simnet.NewTCP
+	ConstantLatency = simnet.ConstantLatency
+	DistanceLatency = simnet.DistanceLatency
+)
+
+// Federation surface (the inter-entity layer).
+type (
+	// Federation is the running two-layer system.
+	Federation = core.Federation
+	// Options configures a federation.
+	Options = core.Options
+	// StreamRate is a stream's nominal byte rate.
+	StreamRate = core.StreamRate
+	// Ledger accounts entity execution time.
+	Ledger = core.Ledger
+	// Strategy selects the dissemination-tree shape.
+	Strategy = dissemination.Strategy
+)
+
+// Dissemination strategies.
+const (
+	SourceDirect = dissemination.SourceDirect
+	Balanced     = dissemination.Balanced
+	Locality     = dissemination.Locality
+)
+
+// NewFederation creates an empty federation on the given transport.
+func NewFederation(t Transport, c *Catalog, o Options) (*Federation, error) {
+	return core.New(t, c, o)
+}
+
+// Repartitioning strategies for Federation.Rebalance.
+type (
+	// Repartitioner adapts a query allocation after workload drift.
+	Repartitioner = querygraph.Repartitioner
+	// ScratchRepartitioner rebuilds the allocation from scratch.
+	ScratchRepartitioner = querygraph.ScratchRepartitioner
+	// GreedyCutRepartitioner rebalances by load only.
+	GreedyCutRepartitioner = querygraph.GreedyCutRepartitioner
+	// HybridRepartitioner is the paper's proposed middle ground.
+	HybridRepartitioner = querygraph.HybridRepartitioner
+)
+
+// Engine constructors: the two bundled engine implementations.
+var (
+	// NewEngine builds the full asynchronous engine.
+	NewEngine = engine.New
+	// NewMiniEngine builds the synchronous reference engine.
+	NewMiniEngine = engine.NewMini
+)
+
+// Workload generators.
+type (
+	// Ticker generates the stock-quote stream.
+	Ticker = workload.Ticker
+	// FlowGen generates the network-monitoring stream.
+	FlowGen = workload.FlowGen
+	// QueryGen generates query streams with controllable overlap.
+	QueryGen = workload.QueryGen
+)
+
+// Generator constructors.
+var (
+	NewTicker   = workload.NewTicker
+	NewFlowGen  = workload.NewFlowGen
+	NewQueryGen = workload.NewQueryGen
+)
+
+// NewCatalog returns the global schema catalog of the bundled workloads
+// (quotes, trades, flows) with the given symbol and host cardinalities.
+func NewCatalog(symbols, hosts int) *Catalog {
+	return workload.Catalog(symbols, hosts)
+}
+
+// NewLedger returns a standalone accounting ledger; clock may be nil.
+func NewLedger(clock func() time.Time) *Ledger { return core.NewLedger(clock) }
+
+// ParseQuery compiles sspdql query text ("FROM quotes WHERE price
+// BETWEEN 10 AND 20 AGGREGATE avg(price) BY symbol WINDOW 60s") into a
+// QuerySpec with the given ID.
+func ParseQuery(id, src string) (QuerySpec, error) { return sspdql.Parse(id, src) }
+
+// FormatQuery renders a spec back to sspdql text.
+func FormatQuery(spec QuerySpec) string { return sspdql.Format(spec) }
+
+// Scheduler-engine surface: the third bundled engine, a single-threaded
+// shared scheduler with pluggable policies.
+type (
+	// SchedEngine is the shared-scheduler engine implementation.
+	SchedEngine = engine.SchedEngine
+	// SchedPolicy selects its scheduling policy.
+	SchedPolicy = engine.Policy
+)
+
+// Scheduling policies for NewSchedEngine.
+const (
+	PolicyFIFO         = engine.PolicyFIFO
+	PolicyRoundRobin   = engine.PolicyRoundRobin
+	PolicyLongestQueue = engine.PolicyLongestQueue
+)
+
+// NewSchedEngine builds the scheduler engine.
+var NewSchedEngine = engine.NewSched
+
+// Query-graph partitioners, exposed for standalone optimization studies.
+var (
+	// PartitionQueries is the flat balanced k-way partitioner.
+	PartitionQueries = querygraph.Partition
+	// PartitionQueriesMultilevel is the METIS-style multilevel variant.
+	PartitionQueriesMultilevel = querygraph.PartitionMultilevel
+)
