@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-observability bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates BENCH_observability.json: tuple-path cost with tracing
+# off / sampled / full, the disabled trace.Record microbench, and the
+# /metrics scrape cost.
+bench-observability:
+	$(GO) run ./cmd/sspd-bench -observability BENCH_observability.json
+
+# Every experiment table/figure (EXPERIMENTS.md).
+bench:
+	$(GO) run ./cmd/sspd-bench

@@ -36,10 +36,18 @@ var order = []string{"f1", "t1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6",
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	obs := flag.String("observability", "", "run the observability overhead bench and write its JSON report to this file")
 	flag.Parse()
 	if *list {
 		for _, id := range order {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *obs != "" {
+		if err := runObservabilityBench(*obs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

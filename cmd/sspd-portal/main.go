@@ -36,6 +36,7 @@ func main() {
 	useTCP := flag.Bool("tcp", false, "use real TCP sockets instead of the simulated network")
 	maxPrint := flag.Int("print", 5, "max results printed per query per second")
 	httpAddr := flag.String("http", "", "also serve the JSON API on this address (e.g. :8080)")
+	traceEvery := flag.Int("trace", 0, "trace 1 in N published tuples (0 disables; spans at GET /traces)")
 	flag.Parse()
 
 	var transport sspd.Transport
@@ -77,6 +78,13 @@ func main() {
 	if err := fed.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *traceEvery > 0 {
+		if _, err := fed.EnableTracing(*traceEvery, 2048); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracing 1 in %d tuples\n", *traceEvery)
 	}
 
 	// Background market: publish batches at ~rate tuples/second.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sspd/internal/metrics"
 	"sspd/internal/simnet"
 )
 
@@ -34,6 +35,43 @@ type Tree struct {
 	parent   map[levelKey]MemberID
 	root     MemberID
 	height   int
+
+	// events counts structural operations since construction. Counters
+	// are atomic so a metrics scrape may read them while the federation
+	// goroutine mutates the tree.
+	events struct {
+		joins     metrics.Counter
+		leaves    metrics.Counter
+		fails     metrics.Counter
+		splits    metrics.Counter
+		merges    metrics.Counter
+		recenters metrics.Counter
+	}
+}
+
+// Events is a point-in-time snapshot of the tree's maintenance activity:
+// how many joins, polite leaves, failures, cluster splits, cluster
+// merges, and leadership re-centerings have happened.
+type Events struct {
+	Joins     int64
+	Leaves    int64
+	Fails     int64
+	Splits    int64
+	Merges    int64
+	Recenters int64
+}
+
+// Events returns the operation counters. Safe to call concurrently with
+// tree mutations.
+func (t *Tree) Events() Events {
+	return Events{
+		Joins:     t.events.joins.Value(),
+		Leaves:    t.events.leaves.Value(),
+		Fails:     t.events.fails.Value(),
+		Splits:    t.events.splits.Value(),
+		Merges:    t.events.merges.Value(),
+		Recenters: t.events.recenters.Value(),
+	}
 }
 
 type levelKey struct {
@@ -105,6 +143,7 @@ func (t *Tree) Join(id MemberID, at simnet.Point) (hops int, err error) {
 		return 0, fmt.Errorf("coordinator: member %q already joined", id)
 	}
 	t.pos[id] = at
+	t.events.joins.Inc()
 	if t.root == "" {
 		t.root = id
 		t.height = 1
@@ -141,9 +180,21 @@ func (t *Tree) Join(id MemberID, at simnet.Point) (hops int, err error) {
 // Leave removes a member (paper rule 2): it departs its level-0 cluster
 // and every leadership role it held; clusters it led elect new centers,
 // and underflowing clusters merge with their closest sibling (rule 4).
-func (t *Tree) Leave(id MemberID) error {
+func (t *Tree) Leave(id MemberID) error { return t.remove(id, false) }
+
+// Fail handles a member that stopped sending heartbeats. State cleanup
+// is identical to a polite leave; the tree only counts them apart so the
+// observability layer can tell churn from crashes.
+func (t *Tree) Fail(id MemberID) error { return t.remove(id, true) }
+
+func (t *Tree) remove(id MemberID, failed bool) error {
 	if _, ok := t.pos[id]; !ok {
 		return fmt.Errorf("coordinator: unknown member %q", id)
+	}
+	if failed {
+		t.events.fails.Inc()
+	} else {
+		t.events.leaves.Inc()
 	}
 	delete(t.pos, id)
 	if len(t.pos) == 0 {
@@ -165,10 +216,6 @@ func (t *Tree) Leave(id MemberID) error {
 	t.normalize()
 	return nil
 }
-
-// Fail handles a member that stopped sending heartbeats. State cleanup
-// is identical to a polite leave; kept separate for call-site intent.
-func (t *Tree) Fail(id MemberID) error { return t.Leave(id) }
 
 // handleLeaderGone repairs the cluster at the given level after its
 // leader x vanished from the member list (already removed). A successor
@@ -248,6 +295,7 @@ func (t *Tree) splitIfNeeded(id MemberID, level int) {
 	if len(ch) <= 3*t.k-1 {
 		return
 	}
+	t.events.splits.Inc()
 	a, b := t.bisect(ch)
 	ca, cb := t.centerOf(a), t.centerOf(b)
 	delete(t.children, key)
@@ -379,6 +427,7 @@ func (t *Tree) Recenter() int {
 				t.parent[levelKey{c, level - 1}] = center
 			}
 			t.replaceAt(leader, center, level)
+			t.events.recenters.Inc()
 			changes++
 		}
 	}
@@ -440,6 +489,7 @@ func (t *Tree) normalize() {
 				continue
 			}
 			sk := levelKey{sibling, level}
+			t.events.merges.Inc()
 			t.children[sk] = dedup(append(t.children[sk], ch...))
 			for _, c := range ch {
 				t.parent[levelKey{c, level - 1}] = sibling

@@ -372,3 +372,41 @@ func TestTreeRouteWorkBeatsFlat(t *testing.T) {
 		t.Errorf("tree work %d not ≪ flat %d", treeWork, flatWork)
 	}
 }
+
+func TestTreeEventCounters(t *testing.T) {
+	tr := NewTree(2)
+	// 6 joins overflow the single level-1 cluster (3k-1 = 5) -> a split.
+	for i := 0; i < 6; i++ {
+		id := MemberID(fmt.Sprintf("m%d", i))
+		if _, err := tr.Join(id, simnet.Point{X: float64(i * 10), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := tr.Events()
+	if ev.Joins != 6 {
+		t.Fatalf("Joins = %d, want 6", ev.Joins)
+	}
+	if ev.Splits == 0 {
+		t.Fatal("overflowing cluster must count a split")
+	}
+	if err := tr.Leave("m5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Fail("m4"); err != nil {
+		t.Fatal(err)
+	}
+	ev = tr.Events()
+	if ev.Leaves != 1 || ev.Fails != 1 {
+		t.Fatalf("Leaves = %d Fails = %d, want 1 and 1", ev.Leaves, ev.Fails)
+	}
+	// Removing members shrank a cluster below k: normalize merged it.
+	if ev.Merges == 0 {
+		t.Fatal("underflow after removals must count a merge")
+	}
+	// A recenter opportunity: move nothing, just force Recenter to run;
+	// count must equal its return value.
+	if got := tr.Recenter(); int64(got) != tr.Events().Recenters {
+		t.Fatalf("Recenter returned %d but counter is %d", got, tr.Events().Recenters)
+	}
+	checkInvariants(t, tr)
+}

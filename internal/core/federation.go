@@ -15,6 +15,7 @@ import (
 	"sspd/internal/querygraph"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
+	"sspd/internal/trace"
 )
 
 // Options configures a federation.
@@ -77,8 +78,14 @@ type Federation struct {
 	rebalanceStop  chan struct{}
 	rebalanceDone  chan struct{}
 	rebalanceMoves metrics.Counter
-	started        bool
-	closed         bool
+	// registry is the federation's metric registry; the portal scrapes
+	// it at GET /metrics. Derived gauges (PR_k, PR_max, edge cut) are
+	// computed by a collector at scrape time, never on the hot path.
+	registry *metrics.Registry
+	// tracer is the per-tuple trace sampler (nil until EnableTracing).
+	tracer  *trace.Tracer
+	started bool
+	closed  bool
 }
 
 type sourceNode struct {
@@ -123,7 +130,7 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 		return nil, fmt.Errorf("core: federation needs a transport and a catalog")
 	}
 	opts = opts.normalized()
-	return &Federation{
+	f := &Federation{
 		transport:  transport,
 		catalog:    catalog,
 		opts:       opts,
@@ -135,7 +142,10 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 		queries:    make(map[string]*fedQuery),
 		results:    make(map[string]func(stream.Tuple)),
 		relayIndex: make(map[simnet.NodeID]*dissemination.Relay),
-	}, nil
+		registry:   metrics.NewRegistry(),
+	}
+	f.registry.RegisterCollector(f.collectMetrics)
+	return f, nil
 }
 
 // AddSource registers a stream source before Start. rate is the nominal
@@ -257,17 +267,35 @@ func (f *Federation) Start() error {
 	return nil
 }
 
-// Publish injects a batch at a stream's source and disseminates it.
+// Publish injects a batch at a stream's source and disseminates it. When
+// tracing is enabled, sampled tuples get a span stamped here (the batch
+// is copied before mutation so callers keep their tuples untouched).
 func (f *Federation) Publish(streamName string, batch stream.Batch) error {
 	f.mu.Lock()
 	src, ok := f.sources[streamName]
 	started := f.started
+	tracer := f.tracer
 	f.mu.Unlock()
 	if !started {
 		return fmt.Errorf("core: federation not started")
 	}
 	if !ok || src.relay == nil {
 		return fmt.Errorf("core: no source for %q", streamName)
+	}
+	if tracer != nil && tracer.SampleEvery() > 0 {
+		node := string(sourceID(streamName))
+		var out stream.Batch
+		for i, t := range batch {
+			if id := tracer.Sample(streamName, t.Seq, node); id != 0 {
+				if out == nil {
+					out = append(stream.Batch(nil), batch...)
+				}
+				out[i].Span = uint64(id)
+			}
+		}
+		if out != nil {
+			batch = out
+		}
 	}
 	return src.relay.Publish(batch)
 }
@@ -1081,7 +1109,12 @@ func (f *Federation) Close() {
 	f.closed = true
 	entities := f.entities
 	sources := f.sources
+	tracer := f.tracer
+	f.tracer = nil
 	f.mu.Unlock()
+	if tracer != nil && trace.Active() == tracer {
+		trace.SetActive(nil)
+	}
 	for _, src := range sources {
 		if src.relay != nil {
 			_ = src.relay.Close()

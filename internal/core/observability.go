@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sspd/internal/metrics"
+	"sspd/internal/trace"
+)
+
+// This file wires the federation into the observability layer: a metric
+// registry whose collector derives every system-level signal (per-query
+// PR_k, federation PR_max, coordinator-tree events, relay traffic, edge
+// cut) from live state at scrape time, and the per-tuple tracer that
+// Publish stamps spans from.
+
+// MetricsRegistry returns the federation's metric registry; the portal
+// serves it at GET /metrics.
+func (f *Federation) MetricsRegistry() *metrics.Registry { return f.registry }
+
+// EnableTracing installs a per-tuple tracer sampling one in `every`
+// published tuples (every <= 0 disables; 1 traces everything), keeping
+// the most recent `capacity` spans (<= 0 uses trace.DefaultCapacity).
+// The tracer is installed process-wide so relays and entity processors
+// can record hops without plumbing; Close uninstalls it.
+func (f *Federation) EnableTracing(every, capacity int) (*trace.Tracer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tracer != nil {
+		return nil, fmt.Errorf("core: tracing already enabled")
+	}
+	t := trace.New(every, capacity)
+	f.tracer = t
+	trace.SetActive(t)
+	return t, nil
+}
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+func (f *Federation) Tracer() *trace.Tracer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tracer
+}
+
+// QueryPR reports one query's Performance Ratio PR_k = d_k / p_k as
+// measured by its hosting entity's engines. ok is false when the query
+// is unknown or its engines expose no metrics (e.g. MiniEngine).
+func (f *Federation) QueryPR(id string) (pr float64, ok bool) {
+	f.mu.Lock()
+	fq, found := f.queries[id]
+	var en *entityNode
+	if found {
+		en = f.entities[fq.entity]
+	}
+	f.mu.Unlock()
+	if en == nil {
+		return 0, false
+	}
+	d, p, has := en.ent.QueryPerf(id)
+	if !has || p <= 0 {
+		return 0, false
+	}
+	return d / p, true
+}
+
+// PRMax returns the federation-wide maximum Performance Ratio
+// max_k(d_k / p_k) over queries with measured metrics — the paper's
+// Section 4.1 migration trigger — along with the query achieving it.
+func (f *Federation) PRMax() (pr float64, query string) {
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		ids = append(ids, id)
+	}
+	f.mu.Unlock()
+	for _, id := range ids {
+		if v, ok := f.QueryPR(id); ok && v > pr {
+			pr, query = v, id
+		}
+	}
+	return pr, query
+}
+
+// collectMetrics is the registry collector: it derives every
+// federation-level metric from live state at scrape time.
+func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
+	f.mu.Lock()
+	entityIDs := f.entityIDsLocked()
+	queryIDs := make([]string, 0, len(f.queries))
+	for id := range f.queries {
+		queryIDs = append(queryIDs, id)
+	}
+	queryEntity := make(map[string]*entityNode, len(queryIDs))
+	for _, id := range queryIDs {
+		queryEntity[id] = f.entities[f.queries[id].entity]
+	}
+	entities := make([]*entityNode, 0, len(entityIDs))
+	for _, id := range entityIDs {
+		entities = append(entities, f.entities[id])
+	}
+	streams := f.streamNamesLocked()
+	type relayStats struct {
+		delivered, relayed, suppressed int64
+		bytes, messages                int64
+	}
+	perStream := make(map[string]*relayStats, len(streams))
+	for _, s := range streams {
+		st := &relayStats{}
+		if src := f.sources[s]; src != nil && src.relay != nil {
+			st.relayed += src.relay.Relayed.Value()
+			st.suppressed += src.relay.Suppressed.Value()
+			st.bytes += src.relay.LinkBytes.Bytes()
+			st.messages += src.relay.LinkBytes.Messages()
+		}
+		for _, en := range entities {
+			if relay := en.relays[s]; relay != nil {
+				st.delivered += relay.Delivered.Value()
+				st.relayed += relay.Relayed.Value()
+				st.suppressed += relay.Suppressed.Value()
+				st.bytes += relay.LinkBytes.Bytes()
+				st.messages += relay.LinkBytes.Messages()
+			}
+		}
+		perStream[s] = st
+	}
+	coordEvents := f.coord.Events()
+	tracer := f.tracer
+	started := f.started
+	f.mu.Unlock()
+
+	gauge := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindGauge, Labels: labels, Value: v})
+	}
+	counter := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindCounter, Labels: labels, Value: v})
+	}
+
+	gauge("sspd_entities", "Number of entities in the federation.", float64(len(entityIDs)))
+	gauge("sspd_queries", "Number of active queries.", float64(len(queryIDs)))
+
+	// Per-query d_k, p_k, PR_k and the federation PR_max. Every active
+	// query gets a PR series (0 until its engines have measured), so
+	// dashboards see the full query population immediately.
+	prMax := 0.0
+	sort.Strings(queryIDs)
+	for _, id := range queryIDs {
+		var d, p float64
+		if en := queryEntity[id]; en != nil {
+			d, p, _ = en.ent.QueryPerf(id)
+		}
+		pr := 0.0
+		if p > 0 {
+			pr = d / p
+		}
+		if pr > prMax {
+			prMax = pr
+		}
+		lq := metrics.L("query", id)
+		gauge("sspd_query_delay_seconds", "Mean result delay d_k per query.", d, lq)
+		gauge("sspd_query_processing_seconds", "Mean processing time p_k per query.", p, lq)
+		gauge("sspd_pr_ratio", "Performance Ratio PR_k = d_k / p_k per query.", pr, lq)
+	}
+	gauge("sspd_pr_max", "Federation-wide maximum Performance Ratio max_k(d_k/p_k).", prMax)
+
+	for i, id := range entityIDs {
+		gauge("sspd_entity_load", "Entity engine load (query-graph vertex weight).",
+			entities[i].ent.Load(), metrics.L("entity", id))
+	}
+
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Joins), metrics.L("event", "join"))
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Leaves), metrics.L("event", "leave"))
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Fails), metrics.L("event", "fail"))
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Splits), metrics.L("event", "split"))
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Merges), metrics.L("event", "merge"))
+	counter("sspd_coordinator_events_total", "Coordinator-tree maintenance operations by type.",
+		float64(coordEvents.Recenters), metrics.L("event", "recenter"))
+
+	for _, s := range streams {
+		st := perStream[s]
+		ls := metrics.L("stream", s)
+		counter("sspd_relay_delivered_total", "Tuples delivered to local entities per stream.",
+			float64(st.delivered), ls)
+		counter("sspd_relay_relayed_total", "Tuples forwarded on downstream links per stream.",
+			float64(st.relayed), ls)
+		counter("sspd_relay_suppressed_total", "Tuples early filtering kept off downstream links per stream.",
+			float64(st.suppressed), ls)
+		counter("sspd_relay_link_bytes_total", "Encoded bytes sent on dissemination links per stream.",
+			float64(st.bytes), ls)
+		counter("sspd_relay_link_messages_total", "Messages sent on dissemination links per stream.",
+			float64(st.messages), ls)
+	}
+
+	counter("sspd_rebalance_moves_total", "Queries migrated by the auto-rebalance loop.",
+		float64(f.rebalanceMoves.Value()))
+
+	// Edge cut of the live allocation: query-graph edge weight crossing
+	// entity boundaries (QueryGraph locks internally; must be outside
+	// f.mu).
+	if started && len(queryIDs) > 0 {
+		g := f.QueryGraph(0)
+		p, _ := f.Assignment()
+		gauge("sspd_edge_cut", "Query-graph edge weight (bytes/sec) crossing entity boundaries.",
+			g.EdgeCut(p))
+	}
+
+	if tracer != nil {
+		gauge("sspd_trace_sample_every", "Trace sampling divisor (0 = disabled).",
+			float64(tracer.SampleEvery()))
+		gauge("sspd_trace_spans", "Trace spans currently buffered.", float64(tracer.Len()))
+		counter("sspd_trace_sampled_total", "Tuples sampled into trace spans.",
+			float64(tracer.Sampled.Value()))
+		counter("sspd_trace_hops_total", "Hops recorded across all spans.",
+			float64(tracer.Hops.Value()))
+		counter("sspd_trace_evicted_total", "Spans evicted by ring wraparound.",
+			float64(tracer.Evicted.Value()))
+		counter("sspd_trace_dropped_hops_total", "Hops dropped (span evicted or hop cap hit).",
+			float64(tracer.DroppedHops.Value()))
+	}
+}

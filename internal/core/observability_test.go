@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+	"sspd/internal/trace"
+	"sspd/internal/workload"
+)
+
+// TestFederationTraceEndToEnd traces a tuple through every layer:
+// publish at the source, relay hops down the dissemination tree, local
+// delivery, the delegation processor, the operator fragment, and the
+// final result.
+func TestFederationTraceEndToEnd(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	tr, err := fed.EnableTracing(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.EnableTracing(1, 64); err == nil {
+		t.Fatal("double EnableTracing accepted")
+	}
+	defer trace.SetActive(nil)
+
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{X: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after submit")
+	}
+	tick := workload.NewTicker(1, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after publish")
+	}
+	if tr.Sampled.Value() != 5 {
+		t.Fatalf("Sampled = %d, want 5 (every=1)", tr.Sampled.Value())
+	}
+	spans := tr.Recent(5)
+	if len(spans) != 5 {
+		t.Fatalf("Recent returned %d spans", len(spans))
+	}
+	// Every span must show the full journey, starting with the publish
+	// hop. (Hops interleave across entities in arrival order — a relay
+	// hop at an uninterested entity may land after the result hop at the
+	// hosting one — so only the first hop's position is fixed.)
+	for _, span := range spans {
+		seen := map[string]bool{}
+		for _, h := range span.Hops {
+			seen[h.Stage] = true
+		}
+		for _, stage := range []string{trace.StagePublish, trace.StageRelay, trace.StageDeliver,
+			trace.StageDelegate, trace.StageOperator, trace.StageResult} {
+			if !seen[stage] {
+				t.Fatalf("span %d missing stage %q: %+v", span.ID, stage, span.Hops)
+			}
+		}
+		if span.Hops[0].Stage != trace.StagePublish {
+			t.Fatalf("span %d first hop = %q", span.ID, span.Hops[0].Stage)
+		}
+	}
+	if fed.Tracer() != tr {
+		t.Fatal("Tracer accessor mismatch")
+	}
+}
+
+// TestFederationMetricsCollector scrapes the registry and checks that
+// every federation-level family the observability layer promises is
+// present.
+func TestFederationMetricsCollector(t *testing.T) {
+	fed, net := newTestFederation(t, 3)
+	if _, err := fed.EnableTracing(2, 32); err != nil {
+		t.Fatal(err)
+	}
+	defer trace.SetActive(nil)
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{X: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.SubmitQuery(priceQuery("q2", 0, 500), simnet.Point{X: 25}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after submit")
+	}
+	tick := workload.NewTicker(1, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(2 * time.Second) {
+		t.Fatal("quiesce after publish")
+	}
+
+	var sb strings.Builder
+	if err := fed.MetricsRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"sspd_entities 3",
+		"sspd_queries 2",
+		`sspd_pr_ratio{query="q1"}`,
+		`sspd_pr_ratio{query="q2"}`,
+		"sspd_pr_max ",
+		`sspd_coordinator_events_total{event="join"} 3`,
+		`sspd_relay_delivered_total{stream="quotes"}`,
+		`sspd_relay_link_bytes_total{stream="quotes"}`,
+		`sspd_relay_link_messages_total{stream="quotes"}`,
+		`sspd_entity_load{entity="e00"}`,
+		"sspd_edge_cut",
+		"sspd_trace_sample_every 2",
+		"sspd_trace_sampled_total 10",
+		"sspd_rebalance_moves_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+	// Link bytes must be non-zero: the source relayed 20 tuples downstream.
+	if strings.Contains(text, `sspd_relay_link_bytes_total{stream="quotes"} 0`) {
+		t.Error("link bytes stayed zero after publishing")
+	}
+}
+
+// TestFederationPRMaxWithMiniEngines: MiniEngine exposes no latency
+// metrics, so PR falls back to 0 — present but zero, never absent.
+func TestFederationPRMaxWithMiniEngines(t *testing.T) {
+	fed, net := newTestFederation(t, 2)
+	if _, err := fed.SubmitQuery(priceQuery("q1", 0, 1000), simnet.Point{X: 15}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if pr, ok := fed.QueryPR("q1"); ok || pr != 0 {
+		t.Fatalf("QueryPR on MiniEngine = %v/%v, want 0/false", pr, ok)
+	}
+	if pr, q := fed.PRMax(); pr != 0 || q != "" {
+		t.Fatalf("PRMax = %v/%q, want 0 and no query", pr, q)
+	}
+}

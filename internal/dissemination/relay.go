@@ -9,6 +9,7 @@ import (
 	"sspd/internal/metrics"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
+	"sspd/internal/trace"
 )
 
 // Message kinds used on the transport.
@@ -53,6 +54,10 @@ type Relay struct {
 	Delivered  metrics.Counter
 	Relayed    metrics.Counter
 	Suppressed metrics.Counter
+	// LinkBytes meters the encoded bytes and messages this relay sent
+	// on its downstream links — the per-link traffic signal the
+	// observability layer aggregates per stream.
+	LinkBytes metrics.ByteMeter
 }
 
 // NewRelay attaches a relay for `self` to the transport. deliver may be
@@ -209,10 +214,16 @@ func (r *Relay) disseminate(batch stream.Batch) {
 	}
 	r.mu.Unlock()
 
+	self := string(r.self)
+	for _, t := range batch {
+		// Free for untraced tuples (Span == 0 fast path).
+		trace.Record(trace.SpanID(t.Span), trace.StageRelay, self)
+	}
 	if r.deliver != nil && !local.Empty() {
 		for _, t := range batch {
 			if local.Matches(r.schema, t) {
 				r.Delivered.Inc()
+				trace.Record(trace.SpanID(t.Span), trace.StageDeliver, self)
 				r.deliver(t)
 			}
 		}
@@ -235,7 +246,9 @@ func (r *Relay) disseminate(batch stream.Batch) {
 			continue
 		}
 		r.Relayed.Add(int64(len(sub)))
-		_ = r.transport.Send(r.self, c, KindTuples, stream.AppendBatch(nil, sub))
+		payload := stream.AppendBatch(nil, sub)
+		r.LinkBytes.Record(len(payload))
+		_ = r.transport.Send(r.self, c, KindTuples, payload)
 	}
 }
 

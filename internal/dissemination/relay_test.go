@@ -7,6 +7,7 @@ import (
 
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
+	"sspd/internal/trace"
 )
 
 func quotesSchema() *stream.Schema {
@@ -340,4 +341,102 @@ func TestManyRelaysFanout(t *testing.T) {
 		t.Errorf("source egress %d not a small share of total %d", srcEgress, total)
 	}
 	_ = relays
+}
+
+// TestRelaySpanPropagation is the trace-propagation contract: a sampled
+// tuple relayed src -> e00 -> e01 keeps its span across the transport
+// boundary (the codec carries it) and each relay on the path records a
+// hop, ending in the delivery hop at the interested entity.
+func TestRelaySpanPropagation(t *testing.T) {
+	net, src, r0, r1, s0, s1 := buildChain(t)
+	_ = r0
+	tr := trace.New(1, 64)
+	trace.SetActive(tr)
+	t.Cleanup(func() { trace.SetActive(nil) })
+
+	// Only the far entity (two hops away) is interested.
+	if err := r1.SetLocalInterest([]stream.Interest{
+		stream.NewInterest("quotes").WithRange("price", 0, 1000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(time.Second) {
+		t.Fatal("registration did not settle")
+	}
+
+	tu := quote(1, "ibm", 100)
+	tu.Span = uint64(tr.Sample("quotes", tu.Seq, "src"))
+	if tu.Span == 0 {
+		t.Fatal("sampling must assign a span")
+	}
+	if err := src.Publish(stream.Batch{tu}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(time.Second) {
+		t.Fatal("publish did not settle")
+	}
+	if s0.count() != 0 {
+		t.Fatalf("uninterested relay delivered %d tuples", s0.count())
+	}
+	s1.mu.Lock()
+	got := append([]stream.Tuple(nil), s1.got...)
+	s1.mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d tuples, want 1", len(got))
+	}
+	if got[0].Span != tu.Span {
+		t.Fatalf("span lost in relay: got %d want %d", got[0].Span, tu.Span)
+	}
+
+	span, ok := tr.Get(trace.SpanID(tu.Span))
+	if !ok {
+		t.Fatal("span not in tracer")
+	}
+	var stages []string
+	for _, h := range span.Hops {
+		stages = append(stages, h.Stage+"@"+h.Node)
+	}
+	want := []string{
+		trace.StagePublish + "@src",
+		trace.StageRelay + "@src",
+		trace.StageRelay + "@e00",
+		trace.StageRelay + "@e01",
+		trace.StageDeliver + "@e01",
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("hops = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("hop %d = %q, want %q (all: %v)", i, stages[i], want[i], stages)
+		}
+	}
+}
+
+// TestRelayLinkBytesMeter checks the downstream link byte meter counts
+// encoded sub-batch bytes.
+func TestRelayLinkBytesMeter(t *testing.T) {
+	net, src, _, r1, _, _ := buildChain(t)
+	if err := r1.SetLocalInterest([]stream.Interest{
+		stream.NewInterest("quotes").WithRange("price", 0, 1000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(time.Second) {
+		t.Fatal("registration did not settle")
+	}
+	batch := stream.Batch{quote(1, "ibm", 100), quote(2, "msft", 200)}
+	if err := src.Publish(batch); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Quiesce(time.Second) {
+		t.Fatal("publish did not settle")
+	}
+	if src.LinkBytes.Messages() != 1 {
+		t.Fatalf("source sent %d link messages, want 1", src.LinkBytes.Messages())
+	}
+	want := int64(batch.Size())
+	if src.LinkBytes.Bytes() != want {
+		t.Fatalf("source link bytes = %d, want %d", src.LinkBytes.Bytes(), want)
+	}
 }

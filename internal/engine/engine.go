@@ -42,6 +42,22 @@ type DirectFeeder interface {
 	FeedQuery(id string, t stream.Tuple) error
 }
 
+// MetricsReporter is the optional capability of reporting per-query
+// performance. Engine and SchedEngine implement it; MiniEngine (no
+// latency instrumentation) does not. The federation's metrics collector
+// type-asserts on it at scrape time.
+type MetricsReporter interface {
+	// Metrics returns one query's measured performance; ok is false for
+	// unknown IDs.
+	Metrics(id string) (QueryMetrics, bool)
+	// AllMetrics returns the metrics of every registered query.
+	AllMetrics() []QueryMetrics
+	// PRMax returns the largest Performance Ratio across registered
+	// queries (0 when none has measured yet) — the engine's contribution
+	// to the federation-wide PR_max trigger of Section 4.1.
+	PRMax() float64
+}
+
 // QueryMetrics summarizes one query's measured performance inside an
 // Engine: d (total delay), p (processing time), and the paper's
 // Performance Ratio PR = d/p.
@@ -282,6 +298,29 @@ func (e *Engine) Metrics(id string) (QueryMetrics, bool) {
 		m.PR = m.Delay.Mean / m.Processing.Mean
 	}
 	return m, true
+}
+
+// AllMetrics returns the measured performance of every registered query.
+func (e *Engine) AllMetrics() []QueryMetrics {
+	out := make([]QueryMetrics, 0, len(e.QueryIDs()))
+	for _, id := range e.QueryIDs() {
+		if m, ok := e.Metrics(id); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PRMax returns the largest PR across registered queries (0 when no
+// query has measured processing time yet).
+func (e *Engine) PRMax() float64 {
+	max := 0.0
+	for _, m := range e.AllMetrics() {
+		if m.PR > max {
+			max = m.PR
+		}
+	}
+	return max
 }
 
 // Dropped reports the number of tuples dropped by one query's full queue.

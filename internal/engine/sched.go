@@ -311,6 +311,29 @@ func (e *SchedEngine) Metrics(id string) (QueryMetrics, bool) {
 	return m, true
 }
 
+// AllMetrics returns the measured performance of every registered query.
+func (e *SchedEngine) AllMetrics() []QueryMetrics {
+	out := make([]QueryMetrics, 0, len(e.QueryIDs()))
+	for _, id := range e.QueryIDs() {
+		if m, ok := e.Metrics(id); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PRMax returns the largest PR across registered queries (0 when no
+// query has measured processing time yet).
+func (e *SchedEngine) PRMax() float64 {
+	max := 0.0
+	for _, m := range e.AllMetrics() {
+		if m.PR > max {
+			max = m.PR
+		}
+	}
+	return max
+}
+
 // Dropped reports tuples dropped by one query's full backlog.
 func (e *SchedEngine) Dropped(id string) int64 {
 	e.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"sspd/internal/metrics"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
+	"sspd/internal/trace"
 )
 
 // Message kinds on the intra-entity network.
@@ -267,6 +268,7 @@ func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
 		if i == len(frags)-1 {
 			emit = func(t stream.Tuple) {
 				e.Delivered.Inc()
+				trace.Record(trace.SpanID(t.Span), trace.StageResult, queryID)
 				e.mu.Lock()
 				fn := e.results
 				e.mu.Unlock()
@@ -375,6 +377,41 @@ func (e *Entity) QueryPlacement(id string) ([]int, bool) {
 	out := make([]int, len(pq.procs))
 	copy(out, pq.procs)
 	return out, true
+}
+
+// QueryPerf reports a placed query's measured delay d and processing
+// time p in seconds, summed over its fragments (a tuple traverses every
+// fragment in sequence, so per-fragment means add). ok is false when the
+// query is unknown or its engines expose no metrics (e.g. MiniEngine).
+// The federation's metrics collector divides the two into the paper's
+// per-query Performance Ratio PR_k = d_k / p_k.
+func (e *Entity) QueryPerf(id string) (d, p float64, ok bool) {
+	e.mu.Lock()
+	pq, found := e.queries[id]
+	if !found {
+		e.mu.Unlock()
+		return 0, 0, false
+	}
+	frags := pq.frags
+	procs := make([]*procNode, len(pq.frags))
+	for i := range pq.frags {
+		procs[i] = e.procs[pq.procs[i]]
+	}
+	e.mu.Unlock()
+	for i, frag := range frags {
+		rep, isRep := procs[i].eng.(engine.MetricsReporter)
+		if !isRep {
+			return 0, 0, false
+		}
+		m, has := rep.Metrics(frag.ID)
+		if !has {
+			return 0, 0, false
+		}
+		d += m.Delay.Mean
+		p += m.Processing.Mean
+		ok = true
+	}
+	return d, p, ok
 }
 
 // Interest derives the entity's aggregated data interest in one stream:
@@ -540,6 +577,11 @@ func (p *procNode) ingest(b stream.Batch) {
 	if len(b) == 0 {
 		return
 	}
+	self := string(p.id)
+	for _, t := range b {
+		// Free for untraced tuples (Span == 0 fast path).
+		trace.Record(trace.SpanID(t.Span), trace.StageDelegate, self)
+	}
 	p.mu.Lock()
 	targets := make([]fanoutTarget, len(p.fanout[b[0].Stream]))
 	copy(targets, p.fanout[b[0].Stream])
@@ -547,6 +589,7 @@ func (p *procNode) ingest(b stream.Batch) {
 	for _, tgt := range targets {
 		if tgt.node == p.id {
 			for _, t := range b {
+				trace.Record(trace.SpanID(t.Span), trace.StageOperator, tgt.frag)
 				_ = p.feeder.FeedQuery(tgt.frag, t)
 			}
 			continue
@@ -565,6 +608,7 @@ func (p *procNode) handle(m simnet.Message) {
 		if err != nil {
 			return
 		}
+		trace.Record(trace.SpanID(t.Span), trace.StageOperator, frag)
 		_ = p.feeder.FeedQuery(frag, t)
 	case KindIngest:
 		batch, _, err := stream.DecodeBatch(m.Payload)

@@ -13,12 +13,18 @@
 //	POST   /rebalance         run a hybrid rebalance
 //	GET    /entities          entity list with loads and charges
 //	GET    /stats             federation-level statistics
+//	GET    /metrics           Prometheus text exposition (federation registry)
+//	GET    /traces            recent trace spans (tracing must be enabled)
+//	GET    /traces/{id}       one span's hop-by-hop journey
+//	GET    /debug/pprof/      Go runtime profiling
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +34,7 @@ import (
 	"sspd/internal/simnet"
 	"sspd/internal/sspdql"
 	"sspd/internal/stream"
+	"sspd/internal/trace"
 )
 
 // resultBuffer keeps the most recent results of one query.
@@ -69,6 +76,8 @@ func (b *resultBuffer) unsubscribe(ch chan resultRow) {
 const resultBufferCap = 64
 
 func (b *resultBuffer) add(t stream.Tuple) {
+	// Free for untraced tuples (Span == 0 fast path).
+	trace.Record(trace.SpanID(t.Span), trace.StagePortal, "portal")
 	row := resultRow{Seq: t.Seq, Ts: t.Ts}
 	for _, v := range t.Values {
 		row.Values = append(row.Values, v.String())
@@ -142,7 +151,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rebalance", s.rebalance)
 	mux.HandleFunc("GET /entities", s.listEntities)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /traces", s.listTraces)
+	mux.HandleFunc("GET /traces/{id}", s.getTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// metrics serves the federation registry in Prometheus text format.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.fed.MetricsRegistry().WritePrometheus(w)
+}
+
+// listTraces returns the most recent trace spans, newest first.
+func (s *Server) listTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.fed.Tracer()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: tracing not enabled"))
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sample_every": tr.SampleEvery(),
+		"buffered":     tr.Len(),
+		"spans":        tr.Recent(n),
+	})
+}
+
+// getTrace returns one span's hop-by-hop journey.
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.fed.Tracer()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: tracing not enabled"))
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad span id %q", r.PathValue("id")))
+		return
+	}
+	span, ok := tr.Get(trace.SpanID(id))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: span %d not buffered (evicted or never sampled)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, span)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -187,15 +187,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	return quantileOf(sorted, q)
+}
+
+// quantileOf reads the q-quantile from an already-sorted sample slice.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Float64s(sorted)
 	idx := int(q * float64(len(sorted)-1))
 	return sorted[idx]
 }
@@ -214,6 +222,7 @@ func (h *Histogram) Reset() {
 // Snapshot is a point-in-time summary of a histogram.
 type Snapshot struct {
 	Count int64
+	Sum   float64
 	Mean  float64
 	Min   float64
 	Max   float64
@@ -222,17 +231,26 @@ type Snapshot struct {
 	P99   float64
 }
 
-// Snapshot returns a summary of the histogram.
+// Snapshot returns a summary of the histogram. The whole summary is
+// computed under one lock acquisition so it is internally consistent: a
+// concurrent Observe can never yield a snapshot whose Count, Mean, and
+// quantiles disagree about which samples they saw.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
 	}
+	if len(h.samples) > 0 {
+		sorted := make([]float64, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Float64s(sorted)
+		s.P50 = quantileOf(sorted, 0.50)
+		s.P95 = quantileOf(sorted, 0.95)
+		s.P99 = quantileOf(sorted, 0.99)
+	}
+	return s
 }
 
 // String implements fmt.Stringer for concise experiment output.

@@ -1,0 +1,402 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricKind classifies a registered metric family for exposition.
+type MetricKind uint8
+
+// Metric kinds. They map onto Prometheus text-format TYPE lines:
+// counters and meters expose as "counter", gauges as "gauge", and
+// histograms as "summary" (count, sum, and reservoir quantiles).
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+	KindMeter
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter, KindMeter:
+		return "counter"
+	case KindGauge, KindFloatGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one scrape-time value emitted by a Collector.
+type Sample struct {
+	// Name is the metric family name (e.g. "sspd_pr_max").
+	Name string
+	// Help is the family's HELP text (the first emitter's wins).
+	Help string
+	// Kind should be KindCounter or KindGauge; computed summaries are
+	// not supported through collectors.
+	Kind MetricKind
+	// Labels distinguish this series within the family.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Collector computes metrics at scrape time. Collectors let subsystems
+// expose values derived from live state (PR ratios, edge cut, tree event
+// counts) with zero hot-path cost: nothing is updated until a scrape
+// calls the collector.
+type Collector func(emit func(Sample))
+
+// Registry is a named, labeled metric registry with a lock-cheap hot
+// path: the instruments themselves (Counter, Gauge, ...) are atomics, so
+// after a one-time get-or-create the recording side never touches the
+// registry lock. Exposition walks the registry under a read lock and
+// renders Prometheus text format (version 0.0.4).
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []Collector
+}
+
+type family struct {
+	name string
+	help string
+	kind MetricKind
+	// series maps the canonical label signature to the instrument.
+	series map[string]*series
+}
+
+type series struct {
+	labels []Label
+	// exactly one of these is non-nil, per the family kind
+	counter   *Counter
+	gauge     *Gauge
+	fgauge    *FloatGauge
+	histogram *Histogram
+	meter     *ByteMeter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether s is a legal Prometheus metric/label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// signature canonicalizes a label set: sorted by key, rendered once.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// lookup returns the series for (name, labels), creating family and
+// series as needed. It panics on a name/kind conflict or an invalid
+// name — both are programmer errors at wiring time, never data-driven.
+func (r *Registry) lookup(name, help string, kind MetricKind, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	sig := signature(labels)
+
+	r.mu.RLock()
+	fam := r.families[name]
+	if fam != nil {
+		if s, ok := fam.series[sig]; ok {
+			kindOK := fam.kind == kind
+			r.mu.RUnlock()
+			if !kindOK {
+				panic(fmt.Sprintf("metrics: %q re-registered as %v (was %v)", name, kind, fam.kind))
+			}
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam = r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("metrics: %q re-registered as %v (was %v)", name, kind, fam.kind))
+	}
+	s, ok := fam.series[sig]
+	if !ok {
+		sorted := make([]Label, len(labels))
+		copy(sorted, labels)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		s = &series{labels: sorted}
+		switch kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindFloatGauge:
+			s.fgauge = &FloatGauge{}
+		case KindHistogram:
+			s.histogram = &Histogram{}
+		case KindMeter:
+			s.meter = &ByteMeter{}
+		}
+		fam.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the named counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, KindCounter, labels).counter
+}
+
+// Gauge returns (creating on first use) the named int gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, KindGauge, labels).gauge
+}
+
+// FloatGauge returns (creating on first use) the named float gauge series.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	return r.lookup(name, help, KindFloatGauge, labels).fgauge
+}
+
+// Histogram returns (creating on first use) the named histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.lookup(name, help, KindHistogram, labels).histogram
+}
+
+// Meter returns (creating on first use) the named byte-meter series. It
+// exposes as two counter families, <name>_bytes_total and
+// <name>_messages_total.
+func (r *Registry) Meter(name, help string, labels ...Label) *ByteMeter {
+	return r.lookup(name, help, KindMeter, labels).meter
+}
+
+// RegisterCollector adds a scrape-time collector.
+func (r *Registry) RegisterCollector(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {k="v",...} (empty string for no labels). extra
+// is appended after the sorted labels (used for quantile="...").
+func renderLabels(labels []Label, extra ...Label) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, l := range labels {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+		n++
+	}
+	for _, l := range extra {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+		n++
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// expoFamily is one renderable family: header plus pre-rendered lines.
+type expoFamily struct {
+	name  string
+	help  string
+	typ   string
+	lines []string
+}
+
+// WritePrometheus renders every registered metric and collector sample
+// in Prometheus text exposition format 0.0.4, families sorted by name
+// and series sorted by label signature within each family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.RUnlock()
+
+	out := make(map[string]*expoFamily)
+	get := func(name, help, typ string) *expoFamily {
+		ef, ok := out[name]
+		if !ok {
+			ef = &expoFamily{name: name, help: help, typ: typ}
+			out[name] = ef
+		}
+		return ef
+	}
+
+	for _, f := range fams {
+		sigs := make([]string, 0, len(f.series))
+		r.mu.RLock()
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		series := make([]*series, 0, len(sigs))
+		for _, sig := range sigs {
+			series = append(series, f.series[sig])
+		}
+		r.mu.RUnlock()
+
+		switch f.kind {
+		case KindCounter:
+			ef := get(f.name, f.help, "counter")
+			for _, s := range series {
+				ef.lines = append(ef.lines, fmt.Sprintf("%s%s %d", f.name, renderLabels(s.labels), s.counter.Value()))
+			}
+		case KindGauge:
+			ef := get(f.name, f.help, "gauge")
+			for _, s := range series {
+				ef.lines = append(ef.lines, fmt.Sprintf("%s%s %d", f.name, renderLabels(s.labels), s.gauge.Value()))
+			}
+		case KindFloatGauge:
+			ef := get(f.name, f.help, "gauge")
+			for _, s := range series {
+				ef.lines = append(ef.lines, fmt.Sprintf("%s%s %s", f.name, renderLabels(s.labels), formatValue(s.fgauge.Value())))
+			}
+		case KindHistogram:
+			ef := get(f.name, f.help, "summary")
+			for _, s := range series {
+				snap := s.histogram.Snapshot()
+				for _, q := range []struct {
+					q string
+					v float64
+				}{{"0.5", snap.P50}, {"0.95", snap.P95}, {"0.99", snap.P99}} {
+					ef.lines = append(ef.lines, fmt.Sprintf("%s%s %s", f.name,
+						renderLabels(s.labels, L("quantile", q.q)), formatValue(q.v)))
+				}
+				ef.lines = append(ef.lines, fmt.Sprintf("%s_sum%s %s", f.name, renderLabels(s.labels), formatValue(snap.Sum)))
+				ef.lines = append(ef.lines, fmt.Sprintf("%s_count%s %d", f.name, renderLabels(s.labels), snap.Count))
+			}
+		case KindMeter:
+			bf := get(f.name+"_bytes_total", f.help+" (bytes)", "counter")
+			mf := get(f.name+"_messages_total", f.help+" (messages)", "counter")
+			for _, s := range series {
+				bf.lines = append(bf.lines, fmt.Sprintf("%s_bytes_total%s %d", f.name, renderLabels(s.labels), s.meter.Bytes()))
+				mf.lines = append(mf.lines, fmt.Sprintf("%s_messages_total%s %d", f.name, renderLabels(s.labels), s.meter.Messages()))
+			}
+		}
+	}
+
+	// Collector samples merge into the same family map; a family name
+	// emitted both statically and by a collector keeps the static HELP.
+	for _, c := range collectors {
+		c(func(s Sample) {
+			if !validName(s.Name) {
+				return
+			}
+			ef := get(s.Name, s.Help, s.Kind.String())
+			sorted := make([]Label, len(s.Labels))
+			copy(sorted, s.Labels)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+			ef.lines = append(ef.lines, fmt.Sprintf("%s%s %s", s.Name, renderLabels(sorted), formatValue(s.Value)))
+		})
+	}
+
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ef := out[name]
+		if ef.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ef.name, escapeHelp(ef.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", ef.name, ef.typ); err != nil {
+			return err
+		}
+		sort.Strings(ef.lines)
+		for _, line := range ef.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -18,11 +18,21 @@ func unixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
 //	uint32 len(stream) | stream bytes
 //	uint64 seq
 //	int64  ts (unix nanoseconds)
-//	uint16 nvalues
+//	uint16 nvalues (top bit: trace span present)
 //	per value: uint8 kind, then 8-byte payload (int/float)
 //	           or uint32 len + bytes (string)
+//	uint64 span (only when the nvalues top bit is set)
+//
+// A traced tuple (Span != 0) sets the top bit of nvalues and appends its
+// span after the values; untraced tuples encode exactly as before, so
+// enabling the codec's trace support costs zero wire bytes until
+// sampling actually marks a tuple.
 
 const maxWireString = 1 << 20 // sanity bound when decoding
+
+// wireSpanFlag marks a trailing trace-span word in the nvalues field.
+// Schemas are bounded far below 2^15 attributes, so the bit is free.
+const wireSpanFlag = 0x8000
 
 // AppendTuple encodes t onto dst and returns the extended slice.
 func AppendTuple(dst []byte, t Tuple) []byte {
@@ -30,7 +40,11 @@ func AppendTuple(dst []byte, t Tuple) []byte {
 	dst = append(dst, t.Stream...)
 	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts.UnixNano()))
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t.Values)))
+	nvals := uint16(len(t.Values))
+	if t.Span != 0 {
+		nvals |= wireSpanFlag
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, nvals)
 	for _, v := range t.Values {
 		dst = append(dst, byte(v.kind))
 		switch v.kind {
@@ -42,6 +56,9 @@ func AppendTuple(dst []byte, t Tuple) []byte {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.s)))
 			dst = append(dst, v.s...)
 		}
+	}
+	if t.Span != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, t.Span)
 	}
 	return dst
 }
@@ -76,8 +93,10 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 	nanos := int64(binary.LittleEndian.Uint64(buf[off:]))
 	off += 8
 	t.Ts = unixNano(nanos)
-	nvals := int(binary.LittleEndian.Uint16(buf[off:]))
+	rawVals := binary.LittleEndian.Uint16(buf[off:])
 	off += 2
+	hasSpan := rawVals&wireSpanFlag != 0
+	nvals := int(rawVals &^ uint16(wireSpanFlag))
 	t.Values = make([]Value, 0, nvals)
 	for i := 0; i < nvals; i++ {
 		if err := need(1); err != nil {
@@ -115,6 +134,13 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 		default:
 			return t, 0, fmt.Errorf("stream: unknown value kind %d", kind)
 		}
+	}
+	if hasSpan {
+		if err := need(8); err != nil {
+			return t, 0, err
+		}
+		t.Span = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
 	}
 	return t, off, nil
 }

@@ -215,3 +215,66 @@ func BenchmarkDecodeTuple(b *testing.B) {
 		}
 	}
 }
+
+func TestTupleSpanRoundTrip(t *testing.T) {
+	orig := NewTuple("quotes", 42, time.Unix(1000, 999).UTC(),
+		String("ibm"), Float(90.25))
+	orig.Span = 0xDEADBEEFCAFE
+	enc := AppendTuple(nil, orig)
+	if len(enc) != orig.Size() {
+		t.Fatalf("encoded %d bytes, Size() says %d", len(enc), orig.Size())
+	}
+	dec, used, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", used, len(enc))
+	}
+	assertTupleEqual(t, orig, dec)
+	if dec.Span != orig.Span {
+		t.Fatalf("span = %#x, want %#x", dec.Span, orig.Span)
+	}
+}
+
+// TestUntracedTupleWireUnchanged pins the compatibility property: a
+// tuple without a span encodes to exactly the pre-trace layout (no flag
+// bit, no extra bytes), so byte accounting with sampling off matches the
+// seed exactly.
+func TestUntracedTupleWireUnchanged(t *testing.T) {
+	orig := NewTuple("quotes", 7, time.Unix(9, 9).UTC(), Int(1))
+	enc := AppendTuple(nil, orig)
+	wantSize := 4 + len("quotes") + 8 + 8 + 2 + (1 + 8)
+	if len(enc) != wantSize || orig.Size() != wantSize {
+		t.Fatalf("untraced tuple: encoded=%d Size=%d want %d", len(enc), orig.Size(), wantSize)
+	}
+	// nvalues field must not carry the span flag.
+	nvals := uint16(enc[4+len("quotes")+16]) | uint16(enc[4+len("quotes")+17])<<8
+	if nvals != 1 {
+		t.Fatalf("nvalues on the wire = %#x, want 1", nvals)
+	}
+	dec, _, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Span != 0 {
+		t.Fatalf("span = %d, want 0", dec.Span)
+	}
+}
+
+func TestBatchSpanRoundTrip(t *testing.T) {
+	traced := NewTuple("s", 2, time.Unix(5, 0).UTC(), Int(4))
+	traced.Span = 77
+	b := Batch{NewTuple("s", 1, time.Unix(5, 0).UTC(), Int(3)), traced}
+	enc := AppendBatch(nil, b)
+	if len(enc) != b.Size() {
+		t.Fatalf("encoded %d bytes, Size() says %d", len(enc), b.Size())
+	}
+	dec, _, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].Span != 0 || dec[1].Span != 77 {
+		t.Fatalf("spans = %d,%d want 0,77", dec[0].Span, dec[1].Span)
+	}
+}

@@ -17,6 +17,11 @@ type Tuple struct {
 	Ts time.Time
 	// Values holds the attribute values in schema order.
 	Values []Value
+	// Span is the tuple's trace-span ID; zero means the tuple is not
+	// traced (the overwhelmingly common case). Sampled tuples keep
+	// their span across relays and operator fragments so the
+	// observability layer can reconstruct the full journey.
+	Span uint64
 }
 
 // NewTuple constructs a tuple on the named stream.
@@ -47,6 +52,9 @@ func (t Tuple) Size() int {
 	n := 4 + len(t.Stream) + 8 + 8 + 2 // stream, seq, ts(unixnano), nvalues
 	for _, v := range t.Values {
 		n += v.wireSize()
+	}
+	if t.Span != 0 {
+		n += 8 // trace span, only present on sampled tuples
 	}
 	return n
 }

@@ -1,0 +1,253 @@
+// Package trace implements lightweight per-tuple tracing: a sampled
+// tuple carries a span ID (stream.Tuple.Span, propagated across the
+// wire by the tuple codec) and every layer it crosses — source publish,
+// dissemination relay, local delivery, delegation processor, operator
+// fragment, result sink — records a timestamped hop against that span.
+//
+// Completed spans live in a bounded ring buffer queryable by ID (the
+// portal serves them at GET /traces/{id}).
+//
+// The hot path is engineered for "off by default": an untraced tuple has
+// Span == 0, and the package-level Record fast-paths on that with a
+// single predictable branch before touching any shared state, so tracing
+// costs nothing measurable when sampling is disabled.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspd/internal/metrics"
+)
+
+// SpanID identifies one traced tuple's journey. Zero means "not traced".
+type SpanID uint64
+
+// Hop stages recorded by the instrumented layers.
+const (
+	// StagePublish marks the span's creation at a stream source.
+	StagePublish = "publish"
+	// StageRelay marks arrival at a dissemination-tree relay.
+	StageRelay = "relay"
+	// StageDeliver marks local delivery from a relay into an entity.
+	StageDeliver = "deliver"
+	// StageDelegate marks the entity's delegation processor fan-out.
+	StageDelegate = "delegate"
+	// StageOperator marks a query fragment receiving the tuple.
+	StageOperator = "operator"
+	// StageResult marks a final result leaving the entity.
+	StageResult = "result"
+	// StagePortal marks the result reaching a portal's result buffer.
+	StagePortal = "portal"
+)
+
+// Hop is one timestamped step of a traced tuple.
+type Hop struct {
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Node names where the hop happened (relay endpoint, processor,
+	// fragment, or query ID depending on the stage).
+	Node string `json:"node"`
+	// At is the wall-clock time of the hop.
+	At time.Time `json:"at"`
+}
+
+// Span is one traced tuple's recorded journey.
+type Span struct {
+	ID     SpanID    `json:"id"`
+	Stream string    `json:"stream"`
+	Seq    uint64    `json:"seq"`
+	Start  time.Time `json:"start"`
+	Hops   []Hop     `json:"hops"`
+}
+
+// maxHopsPerSpan bounds a single span's hop list; a tuple fanning out to
+// very many queries stops recording rather than growing without bound.
+const maxHopsPerSpan = 256
+
+// Tracer samples tuples at a configurable rate and stores their spans in
+// a bounded ring buffer. All methods are safe for concurrent use.
+type Tracer struct {
+	every uint64 // sample 1 in every tuples; every==1 traces all
+	tick  atomic.Uint64
+	next  atomic.Uint64 // span ID allocator (first ID is 1)
+
+	mu    sync.Mutex
+	slots []Span
+	index map[SpanID]int
+	head  int // next slot to overwrite
+
+	// Sampled counts spans started; Evicted counts spans overwritten by
+	// ring wraparound; DroppedHops counts hops that arrived for spans no
+	// longer (or never) in the buffer.
+	Sampled     metrics.Counter
+	Evicted     metrics.Counter
+	Hops        metrics.Counter
+	DroppedHops metrics.Counter
+}
+
+// DefaultCapacity is the span ring size used when capacity <= 0.
+const DefaultCapacity = 1024
+
+// New returns a tracer sampling one in `every` tuples (every <= 0
+// disables sampling entirely; every == 1 traces every tuple), keeping
+// the most recent `capacity` spans.
+func New(every, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		slots: make([]Span, 0, capacity),
+		index: make(map[SpanID]int),
+	}
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	return t
+}
+
+// SampleEvery returns the sampling divisor (0 = disabled).
+func (t *Tracer) SampleEvery() int { return int(t.every) }
+
+// Sample decides whether to trace the next tuple. It returns a fresh
+// span ID recording a StagePublish hop at node, or 0 when the tuple is
+// not sampled.
+func (t *Tracer) Sample(streamName string, seq uint64, node string) SpanID {
+	if t == nil || t.every == 0 {
+		return 0
+	}
+	if t.tick.Add(1)%t.every != 0 {
+		return 0
+	}
+	id := SpanID(t.next.Add(1))
+	now := time.Now()
+	t.Sampled.Inc()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	span := Span{
+		ID:     id,
+		Stream: streamName,
+		Seq:    seq,
+		Start:  now,
+		Hops:   []Hop{{Stage: StagePublish, Node: node, At: now}},
+	}
+	if len(t.slots) < cap(t.slots) {
+		t.index[id] = len(t.slots)
+		t.slots = append(t.slots, span)
+	} else {
+		old := t.slots[t.head]
+		delete(t.index, old.ID)
+		t.Evicted.Inc()
+		t.slots[t.head] = span
+		t.index[id] = t.head
+		t.head = (t.head + 1) % cap(t.slots)
+	}
+	return id
+}
+
+// Record appends a hop to a live span. Unknown spans (evicted, or from a
+// tracer restarted mid-flight) are counted and dropped.
+func (t *Tracer) Record(id SpanID, stage, node string) {
+	if t == nil || id == 0 {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.index[id]
+	if !ok {
+		t.DroppedHops.Inc()
+		return
+	}
+	if len(t.slots[idx].Hops) >= maxHopsPerSpan {
+		t.DroppedHops.Inc()
+		return
+	}
+	t.slots[idx].Hops = append(t.slots[idx].Hops, Hop{Stage: stage, Node: node, At: now})
+	t.Hops.Inc()
+}
+
+// Get returns a copy of one span.
+func (t *Tracer) Get(id SpanID) (Span, bool) {
+	if t == nil {
+		return Span{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.index[id]
+	if !ok {
+		return Span{}, false
+	}
+	return copySpan(t.slots[idx]), true
+}
+
+// Recent returns copies of up to n spans, most recently started first.
+func (t *Tracer) Recent(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := len(t.slots)
+	if n > total {
+		n = total
+	}
+	out := make([]Span, 0, n)
+	// The most recent insertion sits just before head once the ring is
+	// full, or at the end while it is still filling.
+	newest := total - 1
+	if total == cap(t.slots) {
+		newest = (t.head - 1 + total) % total
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, copySpan(t.slots[(newest-i+total)%total]))
+	}
+	return out
+}
+
+// Len reports how many spans are buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots)
+}
+
+func copySpan(s Span) Span {
+	hops := make([]Hop, len(s.Hops))
+	copy(hops, s.Hops)
+	s.Hops = hops
+	return s
+}
+
+// active is the process-wide recorder used by instrumentation points
+// that have no natural handle to a tracer (relays, entity processors).
+// Exactly one federation's tracer is active at a time; installing is the
+// federation's EnableTracing, clearing happens on Close.
+var active atomic.Pointer[Tracer]
+
+// SetActive installs t as the process-wide recorder (nil clears it).
+func SetActive(t *Tracer) {
+	if t == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(t)
+}
+
+// Active returns the installed recorder, or nil.
+func Active() *Tracer { return active.Load() }
+
+// Record appends a hop to the active tracer. The id == 0 fast path makes
+// this free on untraced tuples — no atomic load, no time lookup.
+func Record(id SpanID, stage, node string) {
+	if id == 0 {
+		return
+	}
+	if t := active.Load(); t != nil {
+		t.Record(id, stage, node)
+	}
+}
