@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-observability bench
+.PHONY: check vet build test race chaos bench-chaos bench-observability bench
 
-check: vet build race
+check: vet build chaos
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos gate: the tier-1 suite under -race plus the seeded chaos bench,
+# which fails if any tuple is silently lost after the federation
+# self-heals. Regenerates BENCH_robustness.json.
+chaos: race bench-chaos
+
+bench-chaos:
+	$(GO) run ./cmd/sspd-bench -chaos drop=0.05,dup=0.02,partition=2s,crash=1,seed=7 -chaos-out BENCH_robustness.json
 
 # Regenerates BENCH_observability.json: tuple-path cost with tracing
 # off / sampled / full, the disabled trace.Record microbench, and the

@@ -137,6 +137,31 @@ func (d *Detector) handle(m simnet.Message) {
 	}
 }
 
+// ReportFailure feeds an out-of-band failure signal into the detector —
+// the reliable control plane calls it when deliveries to a peer's
+// entity exhaust their retries. The report does not declare the peer
+// failed outright (the reporter may itself be the partitioned side);
+// instead it ages the peer's pong deadline so the peer becomes overdue
+// two intervals from now — enough slack for at least one full ping
+// round before the verdict — unless it answers the detector's own
+// confirmation ping. A dead peer is thus expelled within ~2 intervals
+// instead of the full threshold window; a healthy one clears the
+// suspicion with its next pong. It reports whether the signal was
+// accepted (watched and not already suspected).
+func (d *Detector) ReportFailure(peer simnet.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.peers[peer]
+	if !ok || st.suspected {
+		return false
+	}
+	aged := d.now().Add(time.Duration(2-d.threshold) * d.interval)
+	if st.lastPong.After(aged) {
+		st.lastPong = aged
+	}
+	return true
+}
+
 // Tick performs one heartbeat round: ping every watched peer and report
 // the ones whose last pong is older than threshold×interval. It returns
 // the peers newly declared failed this round.

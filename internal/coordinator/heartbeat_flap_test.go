@@ -1,0 +1,208 @@
+package coordinator
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+)
+
+// TestDetectorFlappingOncePerEpisode drives the detector with an
+// injected clock against a peer that flaps: it must fire the failure
+// callback exactly once per failure episode, re-arming only when the
+// peer answers again.
+func TestDetectorFlappingOncePerEpisode(t *testing.T) {
+	const (
+		interval  = time.Second
+		threshold = 3
+	)
+	net := simnet.NewSim(nil)
+	defer net.Close()
+
+	var alive atomic.Bool
+	alive.Store(true)
+	if err := net.Register("peer", func(m simnet.Message) {
+		if m.Kind == KindPing && alive.Load() {
+			_ = net.Send("peer", m.From, KindPong, nil)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	failures := 0
+	d, err := NewDetector(net, "det", interval, threshold, func(simnet.NodeID) {
+		mu.Lock()
+		failures++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	now := time.Unix(1000, 0)
+	clockMu := sync.Mutex{}
+	d.SetClock(func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	})
+	advance := func(dur time.Duration) {
+		clockMu.Lock()
+		now = now.Add(dur)
+		clockMu.Unlock()
+	}
+	got := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return failures
+	}
+	d.Watch("peer")
+
+	// Each step advances the clock by some intervals, sets the peer's
+	// responsiveness, runs one Tick, and checks the cumulative callback
+	// count. The deadline is threshold*interval past the last pong.
+	steps := []struct {
+		name      string
+		advance   time.Duration
+		alive     bool
+		wantTotal int
+	}{
+		// Misses threshold-1 intervals: within the grace window, silent.
+		{"miss one interval", interval, false, 0},
+		{"miss second interval (threshold-1)", interval, false, 0},
+		// Answers just in time: lastPong refreshes, still no episode.
+		{"answers again", interval, true, 0},
+		// A fresh run of misses: the deadline is measured from the new
+		// pong, so two more silent intervals...
+		{"fails again: first miss", interval, false, 0},
+		{"fails again: second miss", interval, false, 0},
+		{"fails again: third miss fires once", interval + time.Millisecond, false, 1},
+		// Still dead: no duplicate callbacks for the same episode.
+		{"still dead", interval, false, 1},
+		{"still dead much later", 10 * interval, false, 1},
+		// Recovers: detection re-arms...
+		{"recovers", interval, true, 1},
+		// ...and a second full episode fires exactly once more.
+		{"second episode: miss 1", interval, false, 1},
+		{"second episode: miss 2", interval, false, 1},
+		{"second episode: fires again", interval + time.Millisecond, false, 2},
+		{"second episode: still dead", interval, false, 2},
+	}
+	for _, step := range steps {
+		alive.Store(step.alive)
+		advance(step.advance)
+		d.Tick()
+		// Let the ping/pong exchange settle so the next step's deadline
+		// math sees the refreshed lastPong.
+		if !net.Quiesce(time.Second) {
+			t.Fatalf("%s: quiesce", step.name)
+		}
+		if got() != step.wantTotal {
+			t.Fatalf("%s: failures = %d, want %d", step.name, got(), step.wantTotal)
+		}
+	}
+}
+
+// TestDetectorReportFailureAcceleratesDetection checks the out-of-band
+// suspicion feed (reliable-layer give-ups): a report against a dead
+// peer gets it declared failed within ~one interval instead of the full
+// threshold window, while a report against a healthy peer is cleared by
+// the confirmation pong and never fires the callback.
+func TestDetectorReportFailureAcceleratesDetection(t *testing.T) {
+	const interval = time.Second
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	var alive atomic.Bool
+	if err := net.Register("peer", func(m simnet.Message) {
+		if m.Kind == KindPing && alive.Load() {
+			_ = net.Send("peer", m.From, KindPong, nil)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 0
+	d, err := NewDetector(net, "det", interval, 3, func(simnet.NodeID) {
+		mu.Lock()
+		failures++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	d.SetClock(func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	})
+	advance := func(dur time.Duration) {
+		clockMu.Lock()
+		now = now.Add(dur)
+		clockMu.Unlock()
+	}
+	got := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return failures
+	}
+
+	if d.ReportFailure("peer") {
+		t.Fatal("unwatched peer accepted")
+	}
+	d.Watch("peer")
+
+	// Healthy peer: the report fast-tracks a probe, the pong clears it.
+	alive.Store(true)
+	if !d.ReportFailure("peer") {
+		t.Fatal("report on healthy peer not accepted")
+	}
+	d.Tick() // within the one-interval grace: pings, does not declare
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	advance(interval)
+	d.Tick()
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if got() != 0 {
+		t.Fatalf("healthy peer declared failed after a give-up report (failures = %d)", got())
+	}
+
+	// Dead peer: the report plus two unanswered intervals declares it —
+	// before the natural 3-interval deadline would have.
+	alive.Store(false)
+	if !d.ReportFailure("peer") {
+		t.Fatal("report on dead peer not accepted")
+	}
+	d.Tick() // confirmation ping goes out, still within grace
+	if !net.Quiesce(time.Second) {
+		t.Fatal("quiesce")
+	}
+	if got() != 0 {
+		t.Fatal("declared failed before the confirmation window elapsed")
+	}
+	advance(interval)
+	d.Tick() // one interval in: still within the two-interval grace
+	if got() != 0 {
+		t.Fatal("declared failed one interval after the report")
+	}
+	advance(interval + time.Millisecond)
+	d.Tick()
+	if got() != 1 {
+		t.Fatalf("failures = %d, want 1 (accelerated detection)", got())
+	}
+	if !d.Suspected("peer") {
+		t.Fatal("peer not suspected")
+	}
+	if d.ReportFailure("peer") {
+		t.Fatal("report accepted for an already-suspected peer")
+	}
+}

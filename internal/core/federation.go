@@ -33,6 +33,14 @@ type Options struct {
 	FragmentsPerQuery int
 	// Clock is the accounting clock (default wall clock).
 	Clock func() time.Time
+	// ReliableControl delivers interest registrations through reliable
+	// endpoints (acks, bounded retries, exponential backoff); exhausted
+	// retries feed the failure detector. Tuple traffic is unaffected.
+	ReliableControl bool
+	// InterestRefresh, when positive, re-announces every relay's
+	// aggregate interest upward on this period — soft state that
+	// re-converges ancestor filters after loss or tree repair.
+	InterestRefresh time.Duration
 }
 
 func (o Options) normalized() Options {
@@ -78,6 +86,10 @@ type Federation struct {
 	rebalanceStop  chan struct{}
 	rebalanceDone  chan struct{}
 	rebalanceMoves metrics.Counter
+	// controlGiveUps counts control-plane deliveries abandoned after
+	// exhausting their retries (each one is also reported to the failure
+	// detector when monitoring is enabled).
+	controlGiveUps metrics.Counter
 	// registry is the federation's metric registry; the portal scrapes
 	// it at GET /metrics. Derived gauges (PR_k, PR_max, edge cut) are
 	// computed by a collector at scrape time, never on the hot path.
@@ -145,8 +157,66 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 		registry:   metrics.NewRegistry(),
 	}
 	f.registry.RegisterCollector(f.collectMetrics)
+	// A fault-injecting transport exports its injection counters through
+	// the federation's registry.
+	if fp, ok := transport.(interface {
+		SetRegistry(*metrics.Registry)
+	}); ok {
+		fp.SetRegistry(f.registry)
+	}
 	return f, nil
 }
+
+// relayOptions builds the dissemination options every relay in this
+// federation is constructed with.
+func (f *Federation) relayOptions() dissemination.RelayOptions {
+	opts := dissemination.RelayOptions{RefreshInterval: f.opts.InterestRefresh}
+	if f.opts.ReliableControl {
+		opts.Reliable = &simnet.ReliableConfig{OnGiveUp: f.controlGiveUp}
+	}
+	return opts
+}
+
+// controlGiveUp is the reliable layer's give-up callback: a control
+// message to `to` exhausted its retries. The endpoint is mapped back to
+// its entity and fed to the failure detector as an out-of-band
+// suspicion: the detector fast-tracks its own probe of that entity and
+// expels it only if the probe also goes unanswered — so a dead entity
+// is discovered through control traffic well before the full heartbeat
+// deadline, while a healthy one (the reporter may be the partitioned
+// side) survives the report.
+func (f *Federation) controlGiveUp(to simnet.NodeID, kind string) {
+	f.controlGiveUps.Inc()
+	id, ok := entityForEndpoint(to)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	mon := f.monitor
+	_, present := f.entities[id]
+	f.mu.Unlock()
+	if mon != nil && present {
+		mon.ReportFailure(hbID(id))
+	}
+}
+
+// entityForEndpoint maps a transport endpoint back to the entity that
+// owns it: "<entity>:<stream>" (relay), "<entity>/hb" (heartbeat), and
+// "<entity>/p<i>" (processor) all resolve to "<entity>". Source and
+// portal endpoints resolve to nothing.
+func entityForEndpoint(ep simnet.NodeID) (string, bool) {
+	s := string(ep)
+	if strings.HasPrefix(s, "src:") || strings.HasPrefix(s, "portal/") {
+		return "", false
+	}
+	if i := strings.IndexAny(s, ":/"); i > 0 {
+		return s[:i], true
+	}
+	return "", false
+}
+
+// ControlGiveUps reports abandoned control-plane deliveries so far.
+func (f *Federation) ControlGiveUps() int64 { return f.controlGiveUps.Value() }
 
 // AddSource registers a stream source before Start. rate is the nominal
 // stream rate used for query-graph edge weights.
@@ -244,7 +314,7 @@ func (f *Federation) Start() error {
 			return err
 		}
 		schema, _ := f.catalog.Lookup(s)
-		srcRelay, err := dissemination.NewRelay(tree, sourceID(s), schema, f.transport, nil, 0)
+		srcRelay, err := dissemination.NewRelayWith(tree, sourceID(s), schema, f.transport, nil, f.relayOptions())
 		if err != nil {
 			return err
 		}
@@ -254,8 +324,8 @@ func (f *Federation) Start() error {
 		for _, id := range ids {
 			en := f.entities[id]
 			ingest := en.ent.Ingest
-			relay, err := dissemination.NewRelay(tree, relayID(id, s), schema,
-				f.transport, ingest, 0)
+			relay, err := dissemination.NewRelayWith(tree, relayID(id, s), schema,
+				f.transport, ingest, f.relayOptions())
 			if err != nil {
 				return err
 			}
@@ -590,7 +660,7 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 			return err
 		}
 		schema, _ := f.catalog.Lookup(s)
-		relay, err := dissemination.NewRelay(src.tree, rid, schema, f.transport, ent.Ingest, 0)
+		relay, err := dissemination.NewRelayWith(src.tree, rid, schema, f.transport, ent.Ingest, f.relayOptions())
 		if err != nil {
 			_, _ = src.tree.RemoveMember(rid, f.opts.Fanout)
 			f.detachEntityLocked(en, id)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sspd/internal/dissemination"
 	"sspd/internal/metrics"
 	"sspd/internal/trace"
 )
@@ -40,6 +41,25 @@ func (f *Federation) Tracer() *trace.Tracer {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.tracer
+}
+
+// ControlStats sums the reliable control plane's counters across every
+// relay: upward-registration retries and stale/duplicate registrations
+// suppressed by receivers. Both are zero unless ReliableControl is on.
+func (f *Federation) ControlStats() (retries, suppressed int64) {
+	f.mu.Lock()
+	relays := make([]*dissemination.Relay, 0, len(f.relayIndex))
+	for _, r := range f.relayIndex {
+		relays = append(relays, r)
+	}
+	f.mu.Unlock()
+	for _, r := range relays {
+		if rel := r.Reliable(); rel != nil {
+			retries += rel.Retries.Value()
+			suppressed += rel.Suppressed.Value()
+		}
+	}
+	return retries, suppressed
 }
 
 // QueryPR reports one query's Performance Ratio PR_k = d_k / p_k as
@@ -126,7 +146,25 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 	coordEvents := f.coord.Events()
 	tracer := f.tracer
 	started := f.started
+	relays := make([]*dissemination.Relay, 0, len(f.relayIndex))
+	for _, r := range f.relayIndex {
+		relays = append(relays, r)
+	}
 	f.mu.Unlock()
+
+	// Robustness signals: per-link send failures, and the reliable
+	// control plane's retry/suppression/give-up totals.
+	sendErrs := make(map[string]int64)
+	var relRetries, relSuppressed int64
+	for _, r := range relays {
+		for link, n := range r.SendErrorsByLink() {
+			sendErrs[string(link)] += n
+		}
+		if rel := r.Reliable(); rel != nil {
+			relRetries += rel.Retries.Value()
+			relSuppressed += rel.Suppressed.Value()
+		}
+	}
 
 	gauge := func(name, help string, v float64, labels ...metrics.Label) {
 		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindGauge, Labels: labels, Value: v})
@@ -197,6 +235,22 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 
 	counter("sspd_rebalance_moves_total", "Queries migrated by the auto-rebalance loop.",
 		float64(f.rebalanceMoves.Value()))
+
+	links := make([]string, 0, len(sendErrs))
+	for l := range sendErrs {
+		links = append(links, l)
+	}
+	sort.Strings(links)
+	for _, l := range links {
+		counter("sspd_relay_send_errors_total", "Transport sends a relay could not complete, by destination link.",
+			float64(sendErrs[l]), metrics.L("link", l))
+	}
+	counter("sspd_control_giveups_total", "Control-plane deliveries abandoned after exhausting retries.",
+		float64(f.controlGiveUps.Value()))
+	counter("sspd_control_retries_total", "Control-plane delivery retries by the reliable endpoints.",
+		float64(relRetries))
+	counter("sspd_control_suppressed_total", "Stale or duplicate control messages suppressed by receivers.",
+		float64(relSuppressed))
 
 	// Edge cut of the live allocation: query-graph edge weight crossing
 	// entity boundaries (QueryGraph locks internally; must be outside

@@ -3,8 +3,10 @@ package dissemination
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
+	"time"
 
 	"sspd/internal/metrics"
 	"sspd/internal/simnet"
@@ -37,6 +39,10 @@ type Relay struct {
 	transport simnet.Transport
 	deliver   func(stream.Tuple)
 	maxTerms  int
+	// rel, when non-nil, carries control-plane sends (interest
+	// registrations) with acks, bounded retries, and backoff; tuple
+	// traffic always stays on the raw transport.
+	rel *simnet.ReliableEndpoint
 
 	mu        sync.Mutex
 	local     *stream.InterestSet
@@ -45,8 +51,20 @@ type Relay struct {
 	// aggregate computation AND the send, so a registration computed
 	// from newer state can never be overtaken on the wire by one
 	// computed from older state (which would leave the parent holding
-	// a stale, narrower filter and silently drop tuples).
-	regMu sync.Mutex
+	// a stale, narrower filter and silently drop tuples). With the
+	// reliable endpoint, retries could still reorder registrations on
+	// the wire — the receiver's in-order suppression drops the stale
+	// one, and the periodic refresh re-converges after any loss.
+	regMu       sync.Mutex
+	refreshStop chan struct{}
+	refreshDone chan struct{}
+
+	// errMu guards the send-failure bookkeeping: per-link error counts
+	// plus the down/up state used to log once per transition instead of
+	// once per message.
+	errMu    sync.Mutex
+	linkErrs map[simnet.NodeID]int64
+	linkDown map[simnet.NodeID]bool
 
 	// Delivered counts tuples handed to the local entity; Relayed
 	// counts tuples forwarded downstream; Suppressed counts tuples
@@ -54,10 +72,32 @@ type Relay struct {
 	Delivered  metrics.Counter
 	Relayed    metrics.Counter
 	Suppressed metrics.Counter
+	// SendErrors counts transport sends this relay could not complete
+	// (tuples and interest registrations alike) — the signal that was
+	// silently discarded before the chaos layer existed.
+	SendErrors metrics.Counter
 	// LinkBytes meters the encoded bytes and messages this relay sent
 	// on its downstream links — the per-link traffic signal the
 	// observability layer aggregates per stream.
 	LinkBytes metrics.ByteMeter
+}
+
+// RelayOptions configures the robustness features of a relay. The zero
+// value reproduces the classic fire-and-forget relay.
+type RelayOptions struct {
+	// MaxTerms bounds the aggregated interest size (<= 0 uses
+	// DefaultMaxInterestTerms).
+	MaxTerms int
+	// Reliable, when non-nil, delivers interest registrations through a
+	// reliable endpoint (acks, bounded retries, exponential backoff);
+	// its OnGiveUp feeds the failure detector. In-order suppression is
+	// forced on: a retried stale registration must never overwrite a
+	// newer one.
+	Reliable *simnet.ReliableConfig
+	// RefreshInterval, when positive, re-announces the aggregate
+	// interest upward on this period — soft-state that re-converges
+	// ancestor filters after message loss or tree repair.
+	RefreshInterval time.Duration
 }
 
 // NewRelay attaches a relay for `self` to the transport. deliver may be
@@ -65,12 +105,19 @@ type Relay struct {
 // DefaultMaxInterestTerms.
 func NewRelay(tree *Tree, self simnet.NodeID, schema *stream.Schema,
 	transport simnet.Transport, deliver func(stream.Tuple), maxTerms int) (*Relay, error) {
+	return NewRelayWith(tree, self, schema, transport, deliver, RelayOptions{MaxTerms: maxTerms})
+}
+
+// NewRelayWith attaches a relay with robustness options.
+func NewRelayWith(tree *Tree, self simnet.NodeID, schema *stream.Schema,
+	transport simnet.Transport, deliver func(stream.Tuple), opts RelayOptions) (*Relay, error) {
 	if tree == nil || schema == nil || transport == nil {
 		return nil, fmt.Errorf("dissemination: relay %q needs tree, schema, and transport", self)
 	}
 	if self != tree.Source() && !tree.Has(self) {
 		return nil, fmt.Errorf("dissemination: %q is not in the %s tree", self, tree.Stream())
 	}
+	maxTerms := opts.MaxTerms
 	if maxTerms <= 0 {
 		maxTerms = DefaultMaxInterestTerms
 	}
@@ -83,9 +130,22 @@ func NewRelay(tree *Tree, self simnet.NodeID, schema *stream.Schema,
 		maxTerms:  maxTerms,
 		local:     stream.NewInterestSet(tree.Stream()),
 		childSets: make(map[simnet.NodeID]*stream.InterestSet),
+		linkErrs:  make(map[simnet.NodeID]int64),
+		linkDown:  make(map[simnet.NodeID]bool),
 	}
-	if err := transport.Register(self, r.handle); err != nil {
+	if opts.Reliable != nil {
+		cfg := *opts.Reliable
+		cfg.InOrder = true
+		rel, err := simnet.NewReliable(transport, self, r.handle, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.rel = rel
+	} else if err := transport.Register(self, r.handle); err != nil {
 		return nil, err
+	}
+	if opts.RefreshInterval > 0 {
+		r.StartRefresh(opts.RefreshInterval)
 	}
 	return r, nil
 }
@@ -138,13 +198,118 @@ func (r *Relay) registerUpward() error {
 	if err != nil {
 		return err
 	}
-	return r.transport.Send(r.self, r.tree.Parent(r.self), KindInterest, payload)
+	return r.sendControl(r.tree.Parent(r.self), payload)
+}
+
+// sendControl dispatches one interest registration, reliably when the
+// relay has a reliable endpoint, and accounts the failure either way.
+func (r *Relay) sendControl(to simnet.NodeID, payload []byte) error {
+	var err error
+	if r.rel != nil {
+		err = r.rel.Send(to, KindInterest, payload)
+	} else {
+		err = r.transport.Send(r.self, to, KindInterest, payload)
+	}
+	if err != nil {
+		r.noteSendError(to, err)
+	}
+	return err
 }
 
 // Refresh re-registers the relay's aggregate interest with its current
 // parent. The federation calls it on every relay rewired by a dynamic
-// tree operation (AddMember, RemoveMember, Reorganize).
+// tree operation (AddMember, RemoveMember, Reorganize); the soft-state
+// refresher calls it periodically.
 func (r *Relay) Refresh() error { return r.registerUpward() }
+
+// StartRefresh launches the soft-state loop: every interval the relay
+// re-announces its aggregate interest upward, so ancestor filters
+// converge back to truth after lost registrations or tree repair. A
+// source relay has nowhere to refresh to; the call is a no-op there.
+func (r *Relay) StartRefresh(interval time.Duration) {
+	if interval <= 0 || r.self == r.tree.Source() {
+		return
+	}
+	r.mu.Lock()
+	if r.refreshStop != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	r.refreshStop, r.refreshDone = stop, done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Failures are already counted by sendControl; the next
+				// tick (or the reliable layer's retries) recovers.
+				_ = r.registerUpward()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopRefresh halts the soft-state loop (idempotent).
+func (r *Relay) StopRefresh() {
+	r.mu.Lock()
+	stop, done := r.refreshStop, r.refreshDone
+	r.refreshStop, r.refreshDone = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Reliable exposes the relay's control-plane endpoint (nil when the
+// relay sends fire-and-forget).
+func (r *Relay) Reliable() *simnet.ReliableEndpoint { return r.rel }
+
+// noteSendError accounts one failed transport send and logs on the
+// link's up→down transition only.
+func (r *Relay) noteSendError(link simnet.NodeID, err error) {
+	r.SendErrors.Inc()
+	r.errMu.Lock()
+	r.linkErrs[link]++
+	first := !r.linkDown[link]
+	if first {
+		r.linkDown[link] = true
+	}
+	r.errMu.Unlock()
+	if first {
+		log.Printf("dissemination: %s: send to %s failing: %v (logging once until recovery)", r.self, link, err)
+	}
+}
+
+// noteSendOK clears a link's down state, logging the recovery.
+func (r *Relay) noteSendOK(link simnet.NodeID) {
+	r.errMu.Lock()
+	recovered := r.linkDown[link]
+	if recovered {
+		delete(r.linkDown, link)
+	}
+	r.errMu.Unlock()
+	if recovered {
+		log.Printf("dissemination: %s: send to %s recovered", r.self, link)
+	}
+}
+
+// SendErrorsByLink snapshots the per-link failed-send counts.
+func (r *Relay) SendErrorsByLink() map[simnet.NodeID]int64 {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	out := make(map[simnet.NodeID]int64, len(r.linkErrs))
+	for link, n := range r.linkErrs {
+		out[link] = n
+	}
+	return out
+}
 
 // PreRegister sends the relay's aggregate interest to an arbitrary node
 // — the make-before-break half of a rewire: registering with the future
@@ -160,7 +325,7 @@ func (r *Relay) PreRegister(target simnet.NodeID) error {
 	if err != nil {
 		return err
 	}
-	return r.transport.Send(r.self, target, KindInterest, payload)
+	return r.sendControl(target, payload)
 }
 
 // DropChild discards a former child's registered interest, e.g. after
@@ -248,12 +413,21 @@ func (r *Relay) disseminate(batch stream.Batch) {
 		r.Relayed.Add(int64(len(sub)))
 		payload := stream.AppendBatch(nil, sub)
 		r.LinkBytes.Record(len(payload))
-		_ = r.transport.Send(r.self, c, KindTuples, payload)
+		if err := r.transport.Send(r.self, c, KindTuples, payload); err != nil {
+			r.noteSendError(c, err)
+		} else {
+			r.noteSendOK(c)
+		}
 	}
 }
 
-// Close deregisters the relay from the transport.
+// Close stops the refresher and deregisters the relay from the
+// transport.
 func (r *Relay) Close() error {
+	r.StopRefresh()
+	if r.rel != nil {
+		return r.rel.Close()
+	}
 	return r.transport.Deregister(r.self)
 }
 

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCPNet is the Transport implementation over real sockets. Every node
@@ -23,6 +25,14 @@ import (
 type TCPNet struct {
 	traffic *Traffic
 
+	// dialTimeout bounds outbound connection attempts; writeTimeout
+	// bounds each frame write. A write that hits its deadline evicts the
+	// cached connection, so a hung or unresponsive peer can never wedge
+	// a sender indefinitely.
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+	evictions    atomic.Int64
+
 	mu     sync.RWMutex
 	nodes  map[NodeID]*tcpNode
 	conns  map[NodeID]net.Conn // outbound connection cache by destination
@@ -36,14 +46,34 @@ type tcpNode struct {
 	wg       sync.WaitGroup
 }
 
-// NewTCP returns an empty TCP transport.
+// NewTCP returns an empty TCP transport with default 5s dial and write
+// deadlines.
 func NewTCP() *TCPNet {
 	return &TCPNet{
-		traffic: NewTraffic(),
-		nodes:   make(map[NodeID]*tcpNode),
-		conns:   make(map[NodeID]net.Conn),
+		traffic:      NewTraffic(),
+		dialTimeout:  5 * time.Second,
+		writeTimeout: 5 * time.Second,
+		nodes:        make(map[NodeID]*tcpNode),
+		conns:        make(map[NodeID]net.Conn),
 	}
 }
+
+// SetTimeouts adjusts the dial and per-write deadlines (zero keeps the
+// current value). Call before heavy use; it is safe at any time.
+func (t *TCPNet) SetTimeouts(dial, write time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if dial > 0 {
+		t.dialTimeout = dial
+	}
+	if write > 0 {
+		t.writeTimeout = write
+	}
+}
+
+// Evictions reports how many cached connections were dropped after a
+// failed or timed-out write.
+func (t *TCPNet) Evictions() int64 { return t.evictions.Load() }
 
 // Register implements Transport: it opens a loopback listener for the
 // node and serves frames to the handler.
@@ -147,6 +177,7 @@ func (t *TCPNet) Send(from, to NodeID, kind string, payload []byte) error {
 	}
 	conn := t.conns[to]
 	addr := dst.listener.Addr().String()
+	wt := t.writeTimeout
 	t.mu.RUnlock()
 
 	if conn == nil {
@@ -159,14 +190,15 @@ func (t *TCPNet) Send(from, to NodeID, kind string, payload []byte) error {
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
 	frame := appendFrame(nil, msg)
 	t.traffic.Record(from, to, len(frame))
-	if _, err := conn.Write(frame); err != nil {
-		// Connection went stale; drop it and retry once on a fresh one.
+	if err := writeDeadlined(conn, frame, wt); err != nil {
+		// Connection went stale (peer gone, or unresponsive past the
+		// write deadline); evict it and retry once on a fresh one.
 		t.dropConn(to, conn)
 		conn, derr := t.dial(to, addr)
 		if derr != nil {
 			return derr
 		}
-		if _, err := conn.Write(frame); err != nil {
+		if err := writeDeadlined(conn, frame, wt); err != nil {
 			t.dropConn(to, conn)
 			return fmt.Errorf("simnet: send %s→%s: %w", from, to, err)
 		}
@@ -174,8 +206,22 @@ func (t *TCPNet) Send(from, to NodeID, kind string, payload []byte) error {
 	return nil
 }
 
+// writeDeadlined writes one frame under the transport's write deadline.
+func writeDeadlined(conn net.Conn, frame []byte, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
 func (t *TCPNet) dial(to NodeID, addr string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+	t.mu.RLock()
+	dt := t.dialTimeout
+	t.mu.RUnlock()
+	conn, err := net.DialTimeout("tcp", addr, dt)
 	if err != nil {
 		return nil, fmt.Errorf("simnet: dial %q: %w", to, err)
 	}
@@ -193,6 +239,7 @@ func (t *TCPNet) dial(to NodeID, addr string) (net.Conn, error) {
 
 func (t *TCPNet) dropConn(to NodeID, conn net.Conn) {
 	conn.Close()
+	t.evictions.Add(1)
 	t.mu.Lock()
 	if t.conns[to] == conn {
 		delete(t.conns, to)
