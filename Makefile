@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-chaos bench-observability bench
+.PHONY: check vet build test race chaos bench-chaos bench-observability bench-tuplepath bench
 
-check: vet build chaos
+check: vet build chaos bench-tuplepath
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ bench-chaos:
 # /metrics scrape cost.
 bench-observability:
 	$(GO) run ./cmd/sspd-bench -observability BENCH_observability.json
+
+# Regenerates BENCH_tuplepath.json: codec encode/decode (fresh vs.
+# pooled), interpreted vs. compiled interest matching, and relay fan-out
+# ns/tuple. Fails if the relay speedup drops below the 2x acceptance bar.
+bench-tuplepath:
+	$(GO) run ./cmd/sspd-bench -tuplepath BENCH_tuplepath.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

@@ -37,6 +37,7 @@ var order = []string{"f1", "t1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6",
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	obs := flag.String("observability", "", "run the observability overhead bench and write its JSON report to this file")
+	tuplepath := flag.String("tuplepath", "", "run the hot-tuple-path bench (codec/match/relay) and write its JSON report to this file")
 	chaos := flag.String("chaos", "", "run the chaos/recovery bench with this fault spec, e.g. drop=0.05,dup=0.02,partition=500ms,crash=1,seed=7")
 	chaosOut := flag.String("chaos-out", "BENCH_robustness.json", "output path for the chaos bench JSON report")
 	flag.Parse()
@@ -48,6 +49,13 @@ func main() {
 	}
 	if *obs != "" {
 		if err := runObservabilityBench(*obs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tuplepath != "" {
+		if err := runTuplepathBench(*tuplepath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -323,9 +323,12 @@ func (f *Federation) Start() error {
 		f.relayIndex[sourceID(s)] = srcRelay
 		for _, id := range ids {
 			en := f.entities[id]
-			ingest := en.ent.Ingest
+			// Batch delivery: the relay clones locally matched tuples and
+			// hands them over in one call per batch.
+			opts := f.relayOptions()
+			opts.DeliverBatch = en.ent.IngestBatch
 			relay, err := dissemination.NewRelayWith(tree, relayID(id, s), schema,
-				f.transport, ingest, f.relayOptions())
+				f.transport, nil, opts)
 			if err != nil {
 				return err
 			}
@@ -660,7 +663,9 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 			return err
 		}
 		schema, _ := f.catalog.Lookup(s)
-		relay, err := dissemination.NewRelayWith(src.tree, rid, schema, f.transport, ent.Ingest, f.relayOptions())
+		opts := f.relayOptions()
+		opts.DeliverBatch = ent.IngestBatch
+		relay, err := dissemination.NewRelayWith(src.tree, rid, schema, f.transport, nil, opts)
 		if err != nil {
 			_, _ = src.tree.RemoveMember(rid, f.opts.Fanout)
 			f.detachEntityLocked(en, id)

@@ -152,13 +152,18 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 	}
 	f.mu.Unlock()
 
-	// Robustness signals: per-link send failures, and the reliable
-	// control plane's retry/suppression/give-up totals.
+	// Robustness signals: per-link send failures, per-kind decode
+	// failures, and the reliable control plane's retry/suppression/
+	// give-up totals.
 	sendErrs := make(map[string]int64)
+	decodeErrs := make(map[string]int64)
 	var relRetries, relSuppressed int64
 	for _, r := range relays {
 		for link, n := range r.SendErrorsByLink() {
 			sendErrs[string(link)] += n
+		}
+		for kind, n := range r.DecodeErrorsByKind() {
+			decodeErrs[kind] += n
 		}
 		if rel := r.Reliable(); rel != nil {
 			relRetries += rel.Retries.Value()
@@ -244,6 +249,15 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 	for _, l := range links {
 		counter("sspd_relay_send_errors_total", "Transport sends a relay could not complete, by destination link.",
 			float64(sendErrs[l]), metrics.L("link", l))
+	}
+	kinds := make([]string, 0, len(decodeErrs))
+	for k := range decodeErrs {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		counter("sspd_relay_decode_errors_total", "Payloads relays dropped as undecodable, by message kind.",
+			float64(decodeErrs[k]), metrics.L("kind", k))
 	}
 	counter("sspd_control_giveups_total", "Control-plane deliveries abandoned after exhausting retries.",
 		float64(f.controlGiveUps.Value()))

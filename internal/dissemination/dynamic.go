@@ -66,6 +66,7 @@ func (t *Tree) RemoveMember(id simnet.NodeID, fanout int) ([]Rewire, error) {
 		return nil, fmt.Errorf("dissemination: %q not in the %s tree", id, t.stream)
 	}
 	t.children[parent] = removeNode(t.children[parent], id)
+	t.version.Add(1)
 	orphans := t.children[id]
 	delete(t.children, id)
 	delete(t.parent, id)
@@ -183,6 +184,7 @@ func (t *Tree) ApplyRewire(rw Rewire, fanout int) error {
 			rw.NewParent, rw.Child)
 	}
 	t.children[cur] = removeNode(t.children[cur], rw.Child)
+	t.version.Add(1)
 	t.attach(rw.Child, rw.NewParent)
 	return nil
 }

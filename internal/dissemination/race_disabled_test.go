@@ -1,0 +1,5 @@
+//go:build !race
+
+package dissemination
+
+const raceEnabled = false

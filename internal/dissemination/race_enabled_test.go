@@ -1,0 +1,8 @@
+//go:build race
+
+package dissemination
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-state bookkeeping allocates, so exact allocation
+// guards are meaningless under -race.
+const raceEnabled = true

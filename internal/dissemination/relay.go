@@ -6,6 +6,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sspd/internal/metrics"
@@ -38,7 +39,12 @@ type Relay struct {
 	schema    *stream.Schema
 	transport simnet.Transport
 	deliver   func(stream.Tuple)
-	maxTerms  int
+	// deliverBatch, when set, receives all locally matched tuples of a
+	// batch in one call (preferred over deliver on the hot path). The
+	// tuples are freshly cloned — the receiver owns them outright — but
+	// the Batch slice itself must not be retained.
+	deliverBatch func(stream.Batch)
+	maxTerms     int
 	// rel, when non-nil, carries control-plane sends (interest
 	// registrations) with acks, bounded retries, and backoff; tuple
 	// traffic always stays on the raw transport.
@@ -47,6 +53,26 @@ type Relay struct {
 	mu        sync.Mutex
 	local     *stream.InterestSet
 	childSets map[simnet.NodeID]*stream.InterestSet
+	// Compiled twins of local/childSets: interests are compiled against
+	// the schema once at registration time so the per-tuple match loop
+	// does no name resolution and no map iteration (nil entry in
+	// childCompiled = no registration = forward everything).
+	localC        *stream.CompiledSet
+	childCompiled map[simnet.NodeID]*stream.CompiledSet
+	// children caches tree.Children(self) keyed by the tree's structural
+	// version, sparing the hot path a copy per batch. Guarded by mu.
+	children    []simnet.NodeID
+	childrenVer uint64
+	childrenOK  bool
+
+	// Per-link send workers: fan-out enqueues each child's payload and
+	// waits on a per-batch WaitGroup, so one slow or faulty link no
+	// longer serializes the whole fan-out while Quiesce-style barriers
+	// still see the batch fully sent when disseminate returns.
+	sendMu      sync.RWMutex
+	senders     map[simnet.NodeID]*linkSender
+	sendersDone bool
+	sendWG      sync.WaitGroup
 	// regMu serializes upward registrations: it is held across
 	// aggregate computation AND the send, so a registration computed
 	// from newer state can never be overtaken on the wire by one
@@ -61,10 +87,15 @@ type Relay struct {
 
 	// errMu guards the send-failure bookkeeping: per-link error counts
 	// plus the down/up state used to log once per transition instead of
-	// once per message.
-	errMu    sync.Mutex
-	linkErrs map[simnet.NodeID]int64
-	linkDown map[simnet.NodeID]bool
+	// once per message. Decode failures share the lock with the same
+	// once-per-transition shape, keyed by message kind; decodeBadN lets
+	// the hot path skip the lock entirely while nothing is failing.
+	errMu      sync.Mutex
+	linkErrs   map[simnet.NodeID]int64
+	linkDown   map[simnet.NodeID]bool
+	decodeErrs map[string]int64
+	decodeBad  map[string]bool
+	decodeBadN atomic.Int32
 
 	// Delivered counts tuples handed to the local entity; Relayed
 	// counts tuples forwarded downstream; Suppressed counts tuples
@@ -76,6 +107,9 @@ type Relay struct {
 	// (tuples and interest registrations alike) — the signal that was
 	// silently discarded before the chaos layer existed.
 	SendErrors metrics.Counter
+	// DecodeErrors counts payloads this relay could not decode (corrupt
+	// tuples or interest registrations) — previously a silent drop.
+	DecodeErrors metrics.Counter
 	// LinkBytes meters the encoded bytes and messages this relay sent
 	// on its downstream links — the per-link traffic signal the
 	// observability layer aggregates per stream.
@@ -98,6 +132,10 @@ type RelayOptions struct {
 	// interest upward on this period — soft-state that re-converges
 	// ancestor filters after message loss or tree repair.
 	RefreshInterval time.Duration
+	// DeliverBatch, when non-nil, replaces the per-tuple deliver
+	// callback with one call per batch of locally matched tuples. The
+	// tuples are owned by the receiver; the slice is not.
+	DeliverBatch func(stream.Batch)
 }
 
 // NewRelay attaches a relay for `self` to the transport. deliver may be
@@ -122,17 +160,23 @@ func NewRelayWith(tree *Tree, self simnet.NodeID, schema *stream.Schema,
 		maxTerms = DefaultMaxInterestTerms
 	}
 	r := &Relay{
-		self:      self,
-		tree:      tree,
-		schema:    schema,
-		transport: transport,
-		deliver:   deliver,
-		maxTerms:  maxTerms,
-		local:     stream.NewInterestSet(tree.Stream()),
-		childSets: make(map[simnet.NodeID]*stream.InterestSet),
-		linkErrs:  make(map[simnet.NodeID]int64),
-		linkDown:  make(map[simnet.NodeID]bool),
+		self:          self,
+		tree:          tree,
+		schema:        schema,
+		transport:     transport,
+		deliver:       deliver,
+		deliverBatch:  opts.DeliverBatch,
+		maxTerms:      maxTerms,
+		local:         stream.NewInterestSet(tree.Stream()),
+		childSets:     make(map[simnet.NodeID]*stream.InterestSet),
+		childCompiled: make(map[simnet.NodeID]*stream.CompiledSet),
+		senders:       make(map[simnet.NodeID]*linkSender),
+		linkErrs:      make(map[simnet.NodeID]int64),
+		linkDown:      make(map[simnet.NodeID]bool),
+		decodeErrs:    make(map[string]int64),
+		decodeBad:     make(map[string]bool),
 	}
+	r.localC = stream.CompileSet(r.local, schema)
 	if opts.Reliable != nil {
 		cfg := *opts.Reliable
 		cfg.InOrder = true
@@ -157,12 +201,14 @@ func (r *Relay) ID() simnet.NodeID { return r.self }
 // its allocated queries' interests) and re-registers the aggregate with
 // the parent.
 func (r *Relay) SetLocalInterest(terms []stream.Interest) error {
-	r.mu.Lock()
 	set := stream.NewInterestSet(r.tree.Stream())
 	for _, in := range terms {
 		set.Add(in)
 	}
+	compiled := stream.CompileSet(set, r.schema)
+	r.mu.Lock()
 	r.local = set
+	r.localC = compiled
 	r.mu.Unlock()
 	return r.registerUpward()
 }
@@ -332,8 +378,10 @@ func (r *Relay) PreRegister(target simnet.NodeID) error {
 // the tree rewired that child elsewhere.
 func (r *Relay) DropChild(id simnet.NodeID) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	delete(r.childSets, id)
+	delete(r.childCompiled, id)
+	r.mu.Unlock()
+	r.stopSender(id)
 }
 
 // Publish injects a batch at the source and disseminates it. Only the
@@ -342,89 +390,346 @@ func (r *Relay) Publish(batch stream.Batch) error {
 	if r.self != r.tree.Source() {
 		return fmt.Errorf("dissemination: %q is not the source of %s", r.self, r.tree.Stream())
 	}
-	r.disseminate(batch)
+	r.disseminate(batch, nil)
 	return nil
+}
+
+// HandleTuples processes one encoded tuple batch as if it had arrived
+// from the relay's parent — the wire-level entry point benchmarks and
+// bridge transports feed directly.
+func (r *Relay) HandleTuples(payload []byte) {
+	r.handle(simnet.Message{From: r.tree.Parent(r.self), To: r.self, Kind: KindTuples, Payload: payload})
 }
 
 // handle is the transport callback.
 func (r *Relay) handle(m simnet.Message) {
 	switch m.Kind {
 	case KindTuples:
-		batch, _, err := stream.DecodeBatch(m.Payload)
+		db := stream.GetDecodeBuffer()
+		batch, _, err := db.Decode(m.Payload)
 		if err != nil {
-			return // corrupt payload; drop
+			stream.PutDecodeBuffer(db)
+			r.noteDecodeError("tuples", err)
+			return
 		}
-		r.disseminate(batch)
+		r.noteDecodeOK("tuples")
+		// The decoded batch lives in the pooled buffer: disseminate has
+		// fully consumed it (local clones made, downstream payloads sent)
+		// by the time it returns, so the buffer can go back to the pool.
+		r.disseminate(batch, m.Payload)
+		stream.PutDecodeBuffer(db)
 	case KindInterest:
 		set, err := decodeInterestSet(m.Payload, r.tree.Stream())
 		if err != nil {
+			r.noteDecodeError("interest", err)
 			return
 		}
+		r.noteDecodeOK("interest")
+		compiled := stream.CompileSet(set, r.schema)
 		r.mu.Lock()
 		r.childSets[m.From] = set
+		r.childCompiled[m.From] = compiled
 		r.mu.Unlock()
 		// Propagate the updated aggregate toward the source.
 		_ = r.registerUpward()
 	}
 }
 
-// disseminate delivers locally and relays per-child filtered sub-batches.
-func (r *Relay) disseminate(batch stream.Batch) {
+// dissemScratch holds all per-batch fan-out state so a steady-state
+// disseminate allocates nothing: the snapshot of per-child compiled
+// sets, the matched-index scratch, a sub-batch used when a child needs
+// re-encoding, and the pooled encode buffers to release after the sends.
+type dissemScratch struct {
+	sets []*stream.CompiledSet
+	idx  []int32
+	sub  stream.Batch
+	bufs []*[]byte
+	wg   sync.WaitGroup
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(dissemScratch) }}
+
+// disseminate delivers locally matched tuples and fans the batch out to
+// the children. wire, when non-nil, is the still-live incoming encoded
+// payload: a child whose compiled set matched the whole batch (or that
+// has no registration yet) is forwarded that payload verbatim, so a
+// pure-relay hop never re-encodes. Sends run on per-link workers;
+// disseminate waits for all of them before returning, which keeps
+// transport quiescence sound and lets every pooled buffer be released
+// here.
+func (r *Relay) disseminate(batch stream.Batch, wire []byte) {
+	if len(batch) == 0 {
+		return
+	}
+	sc := scratchPool.Get().(*dissemScratch)
 	r.mu.Lock()
-	local := r.local
-	children := r.tree.Children(r.self)
-	sets := make(map[simnet.NodeID]*stream.InterestSet, len(children))
+	localC := r.localC
+	if v := r.tree.Version(); !r.childrenOK || v != r.childrenVer {
+		r.children = r.tree.Children(r.self)
+		r.childrenVer, r.childrenOK = v, true
+	}
+	children := r.children
+	sc.sets = sc.sets[:0]
 	for _, c := range children {
-		sets[c] = r.childSets[c]
+		sc.sets = append(sc.sets, r.childCompiled[c])
 	}
 	r.mu.Unlock()
 
 	self := string(r.self)
-	for _, t := range batch {
+	for i := range batch {
 		// Free for untraced tuples (Span == 0 fast path).
-		trace.Record(trace.SpanID(t.Span), trace.StageRelay, self)
+		trace.Record(trace.SpanID(batch[i].Span), trace.StageRelay, self)
 	}
-	if r.deliver != nil && !local.Empty() {
-		for _, t := range batch {
-			if local.Matches(r.schema, t) {
-				r.Delivered.Inc()
-				trace.Record(trace.SpanID(t.Span), trace.StageDeliver, self)
-				r.deliver(t)
-			}
-		}
-	}
-	for _, c := range children {
-		set := sets[c]
-		var sub stream.Batch
-		if set == nil {
-			// No registration yet: forward everything (safe).
-			sub = batch
-		} else {
-			for _, t := range batch {
-				if set.Matches(r.schema, t) {
-					sub = append(sub, t)
+	r.deliverLocal(localC, batch, sc)
+
+	// Fan-out. The incoming payload (or one pooled full-batch encoding)
+	// is shared by every pass-through child; partial matches re-encode
+	// just the matched tuples into a pooled buffer. Workers send
+	// concurrently per link; the WaitGroup makes the batch fully sent —
+	// and every buffer reusable — before disseminate returns.
+	n := len(batch)
+	var fullPayload []byte
+	for ci, c := range children {
+		set := sc.sets[ci]
+		matched := n
+		if set != nil {
+			sc.idx = sc.idx[:0]
+			for i := range batch {
+				if set.Matches(batch[i]) {
+					sc.idx = append(sc.idx, int32(i))
 				}
 			}
+			matched = len(sc.idx)
 		}
-		r.Suppressed.Add(int64(len(batch) - len(sub)))
-		if len(sub) == 0 {
+		if matched == 0 {
+			r.Suppressed.Add(int64(n))
 			continue
 		}
-		r.Relayed.Add(int64(len(sub)))
-		payload := stream.AppendBatch(nil, sub)
-		r.LinkBytes.Record(len(payload))
-		if err := r.transport.Send(r.self, c, KindTuples, payload); err != nil {
-			r.noteSendError(c, err)
+		var payload []byte
+		if matched == n {
+			// Everything matched (or no registration yet: forward all,
+			// which is safe): reuse the incoming wire bytes verbatim.
+			if fullPayload == nil {
+				if wire != nil {
+					fullPayload = wire
+				} else {
+					buf := stream.GetEncodeBuffer()
+					*buf = stream.AppendBatch((*buf)[:0], batch)
+					sc.bufs = append(sc.bufs, buf)
+					fullPayload = *buf
+				}
+			}
+			payload = fullPayload
 		} else {
-			r.noteSendOK(c)
+			sc.sub = sc.sub[:0]
+			for _, i := range sc.idx {
+				sc.sub = append(sc.sub, batch[i])
+			}
+			buf := stream.GetEncodeBuffer()
+			*buf = stream.AppendBatch((*buf)[:0], sc.sub)
+			sc.bufs = append(sc.bufs, buf)
+			payload = *buf
 		}
+		r.Relayed.Add(int64(matched))
+		r.Suppressed.Add(int64(n - matched))
+		r.LinkBytes.Record(len(payload))
+		sc.wg.Add(1)
+		r.sendTuples(c, payload, &sc.wg)
+	}
+	sc.wg.Wait()
+	for i, buf := range sc.bufs {
+		stream.PutEncodeBuffer(buf)
+		sc.bufs[i] = nil
+	}
+	sc.bufs = sc.bufs[:0]
+	sc.sub = sc.sub[:0]
+	scratchPool.Put(sc)
+}
+
+// deliverLocal clones the locally matched tuples into one compact chunk
+// (a single Values arena plus one Batch allocation, nothing when the
+// batch has no local matches) and hands them to the entity. Cloning at
+// this boundary keeps downstream ownership semantics unchanged: engines,
+// windows, and user subscribers may retain delivered tuples forever,
+// while the relay's decoded batch goes back to its pool.
+func (r *Relay) deliverLocal(localC *stream.CompiledSet, batch stream.Batch, sc *dissemScratch) {
+	if (r.deliver == nil && r.deliverBatch == nil) || localC == nil || localC.NeverMatches() {
+		return
+	}
+	sc.idx = sc.idx[:0]
+	nvals := 0
+	for i := range batch {
+		if localC.Matches(batch[i]) {
+			sc.idx = append(sc.idx, int32(i))
+			nvals += len(batch[i].Values)
+		}
+	}
+	if len(sc.idx) == 0 {
+		return
+	}
+	vals := make([]stream.Value, 0, nvals)
+	sub := make(stream.Batch, 0, len(sc.idx))
+	for _, i := range sc.idx {
+		t := batch[i]
+		start := len(vals)
+		vals = append(vals, t.Values...)
+		t.Values = vals[start:len(vals):len(vals)]
+		sub = append(sub, t)
+	}
+	r.Delivered.Add(int64(len(sub)))
+	self := string(r.self)
+	for i := range sub {
+		trace.Record(trace.SpanID(sub[i].Span), trace.StageDeliver, self)
+	}
+	if r.deliverBatch != nil {
+		r.deliverBatch(sub)
+		return
+	}
+	for _, t := range sub {
+		r.deliver(t)
 	}
 }
 
-// Close stops the refresher and deregisters the relay from the
-// transport.
+// linkSender is one child link's send worker: a small queue drained by a
+// dedicated goroutine, so a slow link delays only its own sends.
+type linkSender struct {
+	to simnet.NodeID
+	ch chan sendJob
+}
+
+type sendJob struct {
+	payload []byte
+	wg      *sync.WaitGroup
+}
+
+// linkQueueDepth bounds each link worker's queue; a full queue applies
+// backpressure to disseminate rather than buffering unboundedly.
+const linkQueueDepth = 8
+
+// sendTuples hands a payload to the child's link worker, creating it on
+// first use. The enqueue happens under the senders read-lock so Close
+// (which takes the write lock) can never close a channel mid-send; after
+// shutdown the send completes inline so the batch WaitGroup resolves.
+func (r *Relay) sendTuples(to simnet.NodeID, payload []byte, wg *sync.WaitGroup) {
+	for {
+		r.sendMu.RLock()
+		if r.sendersDone {
+			r.sendMu.RUnlock()
+			r.sendOne(to, payload)
+			wg.Done()
+			return
+		}
+		if ls := r.senders[to]; ls != nil {
+			ls.ch <- sendJob{payload: payload, wg: wg}
+			r.sendMu.RUnlock()
+			return
+		}
+		r.sendMu.RUnlock()
+		r.sendMu.Lock()
+		if !r.sendersDone && r.senders[to] == nil {
+			ls := &linkSender{to: to, ch: make(chan sendJob, linkQueueDepth)}
+			r.senders[to] = ls
+			r.sendWG.Add(1)
+			go r.runSender(ls)
+		}
+		r.sendMu.Unlock()
+	}
+}
+
+func (r *Relay) runSender(ls *linkSender) {
+	defer r.sendWG.Done()
+	for job := range ls.ch {
+		r.sendOne(ls.to, job.payload)
+		job.wg.Done()
+	}
+}
+
+func (r *Relay) sendOne(to simnet.NodeID, payload []byte) {
+	if err := r.transport.Send(r.self, to, KindTuples, payload); err != nil {
+		r.noteSendError(to, err)
+	} else {
+		r.noteSendOK(to)
+	}
+}
+
+// stopSender retires one child's link worker (after a rewire moved the
+// child elsewhere). Queued jobs still drain before the worker exits.
+func (r *Relay) stopSender(id simnet.NodeID) {
+	r.sendMu.Lock()
+	ls := r.senders[id]
+	delete(r.senders, id)
+	r.sendMu.Unlock()
+	if ls != nil {
+		close(ls.ch)
+	}
+}
+
+// closeSenders shuts every link worker down and waits for queued sends
+// to drain; later sends complete inline.
+func (r *Relay) closeSenders() {
+	r.sendMu.Lock()
+	if !r.sendersDone {
+		r.sendersDone = true
+		for id, ls := range r.senders {
+			close(ls.ch)
+			delete(r.senders, id)
+		}
+	}
+	r.sendMu.Unlock()
+	r.sendWG.Wait()
+}
+
+// noteDecodeError accounts one undecodable payload and logs on the
+// kind's good→bad transition only, mirroring the send-error pattern.
+func (r *Relay) noteDecodeError(kind string, err error) {
+	r.DecodeErrors.Inc()
+	r.errMu.Lock()
+	r.decodeErrs[kind]++
+	first := !r.decodeBad[kind]
+	if first {
+		r.decodeBad[kind] = true
+		r.decodeBadN.Add(1)
+	}
+	r.errMu.Unlock()
+	if first {
+		log.Printf("dissemination: %s: dropping corrupt %s payloads: %v (logging once until recovery)", r.self, kind, err)
+	}
+}
+
+// noteDecodeOK clears a kind's bad state, logging the recovery. The
+// atomic fast path keeps the healthy hot path lock-free.
+func (r *Relay) noteDecodeOK(kind string) {
+	if r.decodeBadN.Load() == 0 {
+		return
+	}
+	r.errMu.Lock()
+	recovered := r.decodeBad[kind]
+	if recovered {
+		delete(r.decodeBad, kind)
+		r.decodeBadN.Add(-1)
+	}
+	r.errMu.Unlock()
+	if recovered {
+		log.Printf("dissemination: %s: %s payloads decoding again", r.self, kind)
+	}
+}
+
+// DecodeErrorsByKind snapshots the per-kind decode-failure counts.
+func (r *Relay) DecodeErrorsByKind() map[string]int64 {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	out := make(map[string]int64, len(r.decodeErrs))
+	for kind, n := range r.decodeErrs {
+		out[kind] = n
+	}
+	return out
+}
+
+// Close stops the refresher, drains the link send workers, and
+// deregisters the relay from the transport.
 func (r *Relay) Close() error {
 	r.StopRefresh()
+	r.closeSenders()
 	if r.rel != nil {
 		return r.rel.Close()
 	}

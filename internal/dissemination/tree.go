@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sspd/internal/simnet"
 )
@@ -66,7 +67,15 @@ type Tree struct {
 	parent   map[simnet.NodeID]simnet.NodeID
 	children map[simnet.NodeID][]simnet.NodeID
 	pos      map[simnet.NodeID]simnet.Point
+	// version counts structural mutations; relays cache their children
+	// slice between batches and revalidate against it, so the hot path
+	// skips Children's per-call copy.
+	version atomic.Uint64
 }
+
+// Version returns a counter bumped on every structural mutation: an
+// unchanged version guarantees an unchanged parent/children structure.
+func (t *Tree) Version() uint64 { return t.version.Load() }
 
 // Build constructs a dissemination tree for the named stream. fanout
 // bounds each node's children for Balanced and Locality (minimum 1);
@@ -164,6 +173,7 @@ func Build(streamName string, source Member, members []Member, strategy Strategy
 func (t *Tree) attach(child, parent simnet.NodeID) {
 	t.parent[child] = parent
 	t.children[parent] = append(t.children[parent], child)
+	t.version.Add(1)
 }
 
 func (t *Tree) shallowest(ids []simnet.NodeID) simnet.NodeID {

@@ -42,6 +42,21 @@ type DirectFeeder interface {
 	FeedQuery(id string, t stream.Tuple) error
 }
 
+// BatchIngester is the optional capability of ingesting a whole batch
+// with one routing/synchronization round instead of one per tuple. The
+// batch's tuples are owned by the engine once handed over; the slice
+// itself must not be retained. Entities type-assert on it so the relay's
+// batch delivery stays batched all the way into the engine.
+type BatchIngester interface {
+	IngestBatch(b stream.Batch)
+}
+
+// BatchFeeder is the batch counterpart of DirectFeeder: one query
+// lookup for the whole batch. Same ownership rules as BatchIngester.
+type BatchFeeder interface {
+	FeedQueryBatch(id string, b stream.Batch) error
+}
+
 // MetricsReporter is the optional capability of reporting per-query
 // performance. Engine and SchedEngine implement it; MiniEngine (no
 // latency instrumentation) does not. The federation's metrics collector
@@ -237,6 +252,59 @@ func (e *Engine) Ingest(t stream.Tuple) {
 	for _, rq := range snapshot {
 		rq.enqueue(item)
 	}
+}
+
+// IngestBatch implements BatchIngester: one routing lookup and one
+// timestamp for the whole (same-stream) batch instead of per tuple.
+// Mixed-stream batches fall back to per-tuple routing.
+func (e *Engine) IngestBatch(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i].Stream != b[0].Stream {
+			for _, t := range b {
+				e.Ingest(t)
+			}
+			return
+		}
+	}
+	e.mu.RLock()
+	targets := e.byInput[b[0].Stream]
+	if len(targets) == 0 {
+		e.mu.RUnlock()
+		return
+	}
+	snapshot := make([]*runningQuery, len(targets))
+	copy(snapshot, targets)
+	e.mu.RUnlock()
+
+	now := time.Now()
+	for i := range b {
+		item := feedItem{streamName: b[i].Stream, t: b[i], arrived: now}
+		for _, rq := range snapshot {
+			rq.enqueue(item)
+		}
+	}
+}
+
+// FeedQueryBatch implements BatchFeeder: one query lookup for the whole
+// batch.
+func (e *Engine) FeedQueryBatch(id string, b stream.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	rq, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	now := time.Now()
+	for i := range b {
+		rq.enqueue(feedItem{streamName: b[i].Stream, t: b[i], arrived: now})
+	}
+	return nil
 }
 
 // FeedQuery delivers a tuple to exactly one registered query, bypassing

@@ -100,6 +100,36 @@ func (m *MiniEngine) Ingest(t stream.Tuple) {
 	}
 }
 
+// IngestBatch implements BatchIngester: one lock round for the whole
+// batch.
+func (m *MiniEngine) IngestBatch(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range b {
+		for _, q := range m.byInput[b[i].Stream] {
+			q.Feed(b[i].Stream, b[i])
+		}
+	}
+}
+
+// FeedQueryBatch implements BatchFeeder: one lock and lookup round for
+// the whole batch.
+func (m *MiniEngine) FeedQueryBatch(id string, b stream.Batch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queries[id]
+	if !ok {
+		return fmt.Errorf("miniengine %s: unknown query %s", m.name, id)
+	}
+	for i := range b {
+		q.Feed(b[i].Stream, b[i])
+	}
+	return nil
+}
+
 // FeedQuery delivers a tuple to exactly one registered query, bypassing
 // stream-based routing.
 func (m *MiniEngine) FeedQuery(id string, t stream.Tuple) error {

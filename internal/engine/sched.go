@@ -181,6 +181,51 @@ func (e *SchedEngine) Ingest(t stream.Tuple) {
 	e.cond.Signal()
 }
 
+// IngestBatch implements BatchIngester: one lock round and one
+// timestamp for the whole batch.
+func (e *SchedEngine) IngestBatch(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	now := time.Now()
+	e.mu.Lock()
+	for i := range b {
+		for _, sq := range e.byInput[b[i].Stream] {
+			if len(sq.backlog) >= schedBacklogCap {
+				sq.dropped.Inc()
+				continue
+			}
+			sq.backlog = append(sq.backlog, schedItem{streamName: b[i].Stream, t: b[i], arrived: now})
+		}
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// FeedQueryBatch implements BatchFeeder.
+func (e *SchedEngine) FeedQueryBatch(id string, b stream.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	now := time.Now()
+	e.mu.Lock()
+	sq, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("schedengine %s: unknown query %s", e.name, id)
+	}
+	for i := range b {
+		if len(sq.backlog) >= schedBacklogCap {
+			sq.dropped.Inc()
+			continue
+		}
+		sq.backlog = append(sq.backlog, schedItem{streamName: b[i].Stream, t: b[i], arrived: now})
+	}
+	e.mu.Unlock()
+	e.cond.Signal()
+	return nil
+}
+
 // FeedQuery implements DirectFeeder.
 func (e *SchedEngine) FeedQuery(id string, t stream.Tuple) error {
 	e.mu.Lock()

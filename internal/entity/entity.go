@@ -18,6 +18,11 @@ const (
 	// KindFeed carries an addressed tuple: a query-fragment ID followed
 	// by one encoded tuple.
 	KindFeed = "ent.feed"
+	// KindFeedBatch carries an addressed batch: a query-fragment ID
+	// followed by one encoded batch (the delegation fan-out uses it so a
+	// relay batch stays one message per remote fragment, not one per
+	// tuple).
+	KindFeedBatch = "ent.feedb"
 	// KindIngest carries a batch for a stream's delegation processor.
 	KindIngest = "ent.ingest"
 )
@@ -199,8 +204,31 @@ func (e *Entity) Ingest(t stream.Tuple) {
 	p.ingest(stream.Batch{t})
 }
 
-// IngestBatch is Ingest for a whole batch.
+// IngestBatch is Ingest for a whole batch. Relay deliveries are always
+// single-stream, so that case routes with one delegation lookup and no
+// grouping allocations.
 func (e *Entity) IngestBatch(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	single := true
+	for i := 1; i < len(b); i++ {
+		if b[i].Stream != b[0].Stream {
+			single = false
+			break
+		}
+	}
+	if single {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		p := e.procs[e.delegationLocked(b[0].Stream)]
+		e.mu.Unlock()
+		p.ingest(b)
+		return
+	}
 	byStream := make(map[string]stream.Batch)
 	for _, t := range b {
 		byStream[t.Stream] = append(byStream[t.Stream], t)
@@ -586,17 +614,26 @@ func (p *procNode) ingest(b stream.Batch) {
 	targets := make([]fanoutTarget, len(p.fanout[b[0].Stream]))
 	copy(targets, p.fanout[b[0].Stream])
 	p.mu.Unlock()
+	bf, batchFeed := p.feeder.(engine.BatchFeeder)
 	for _, tgt := range targets {
 		if tgt.node == p.id {
 			for _, t := range b {
 				trace.Record(trace.SpanID(t.Span), trace.StageOperator, tgt.frag)
-				_ = p.feeder.FeedQuery(tgt.frag, t)
+			}
+			if batchFeed {
+				_ = bf.FeedQueryBatch(tgt.frag, b)
+			} else {
+				for _, t := range b {
+					_ = p.feeder.FeedQuery(tgt.frag, t)
+				}
 			}
 			continue
 		}
-		for _, t := range b {
-			_ = p.entity.transport.Send(p.id, tgt.node, KindFeed, encodeFeed(tgt.frag, t))
-		}
+		// One addressed message per remote fragment, not one per tuple.
+		buf := stream.GetEncodeBuffer()
+		*buf = encodeFeedBatch((*buf)[:0], tgt.frag, b)
+		_ = p.entity.transport.Send(p.id, tgt.node, KindFeedBatch, *buf)
+		stream.PutEncodeBuffer(buf)
 	}
 }
 
@@ -610,6 +647,21 @@ func (p *procNode) handle(m simnet.Message) {
 		}
 		trace.Record(trace.SpanID(t.Span), trace.StageOperator, frag)
 		_ = p.feeder.FeedQuery(frag, t)
+	case KindFeedBatch:
+		frag, batch, err := decodeFeedBatch(m.Payload)
+		if err != nil {
+			return
+		}
+		for _, t := range batch {
+			trace.Record(trace.SpanID(t.Span), trace.StageOperator, frag)
+		}
+		if bf, ok := p.feeder.(engine.BatchFeeder); ok {
+			_ = bf.FeedQueryBatch(frag, batch)
+		} else {
+			for _, t := range batch {
+				_ = p.feeder.FeedQuery(frag, t)
+			}
+		}
 	case KindIngest:
 		batch, _, err := stream.DecodeBatch(m.Payload)
 		if err != nil {
@@ -624,6 +676,30 @@ func encodeFeed(frag string, t stream.Tuple) []byte {
 	buf := binary.LittleEndian.AppendUint16(nil, uint16(len(frag)))
 	buf = append(buf, frag...)
 	return stream.AppendTuple(buf, t)
+}
+
+// encodeFeedBatch frames an addressed batch onto dst:
+// uint16 len(frag) | frag | batch.
+func encodeFeedBatch(dst []byte, frag string, b stream.Batch) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(frag)))
+	dst = append(dst, frag...)
+	return stream.AppendBatch(dst, b)
+}
+
+func decodeFeedBatch(payload []byte) (string, stream.Batch, error) {
+	if len(payload) < 2 {
+		return "", nil, fmt.Errorf("entity: truncated feed-batch frame")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) < 2+n {
+		return "", nil, fmt.Errorf("entity: truncated feed-batch fragment id")
+	}
+	frag := string(payload[2 : 2+n])
+	b, _, err := stream.DecodeBatch(payload[2+n:])
+	if err != nil {
+		return "", nil, err
+	}
+	return frag, b, nil
 }
 
 func decodeFeed(payload []byte) (string, stream.Tuple, error) {

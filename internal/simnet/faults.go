@@ -299,6 +299,13 @@ func (p *FaultPlan) Send(from, to NodeID, kind string, payload []byte) error {
 // sendAfter delivers a message through the wrapped transport after a
 // delay; the in-flight count keeps Quiesce honest.
 func (p *FaultPlan) sendAfter(d time.Duration, from, to NodeID, kind string, payload []byte) {
+	// The delivery outlives this call, but Transport.Send lets the caller
+	// reuse the payload buffer once Send returns — copy before deferring.
+	if len(payload) > 0 {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		payload = cp
+	}
 	p.inflight.Add(1)
 	go func() {
 		defer p.inflight.Add(-1)

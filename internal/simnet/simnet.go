@@ -193,6 +193,14 @@ func (s *SimNet) Send(from, to NodeID, kind string, payload []byte) error {
 
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload}
 	s.traffic.Record(from, to, msg.Size())
+	// Delivery is asynchronous, but the Transport.Send contract lets the
+	// caller reuse the payload buffer as soon as Send returns — so the
+	// inbox gets its own copy, which the handler then owns outright.
+	if len(payload) > 0 {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		msg.Payload = cp
+	}
 	// A concurrent deregistration makes this a send-to-nobody: the
 	// message was on the wire when the node vanished.
 	dst.trySend(delivery{msg: msg, delay: delay})

@@ -45,6 +45,12 @@ type Transport interface {
 	// Deregister removes an endpoint; messages to it start failing.
 	Deregister(id NodeID) error
 	// Send delivers a message from one endpoint to another.
+	//
+	// Ownership: Send must fully consume payload before returning — the
+	// caller may overwrite or pool the backing array the moment Send
+	// returns (the relay hot path reuses encode buffers on exactly this
+	// guarantee). Implementations that deliver, retry, or delay
+	// asynchronously must copy the payload first.
 	Send(from, to NodeID, kind string, payload []byte) error
 	// Traffic exposes the transport's byte accounting.
 	Traffic() *Traffic

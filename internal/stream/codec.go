@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -165,7 +166,7 @@ func DecodeBatch(buf []byte) (Batch, int, error) {
 	if n > 1<<24 {
 		return nil, 0, fmt.Errorf("stream: batch count %d exceeds bound", n)
 	}
-	out := make(Batch, 0, n)
+	out := make(Batch, 0, clampBatchCap(n, len(buf)-off))
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeTuple(buf[off:])
 		if err != nil {
@@ -175,4 +176,245 @@ func DecodeBatch(buf []byte) (Batch, int, error) {
 		off += used
 	}
 	return out, off, nil
+}
+
+// minTupleWire is the smallest possible encoded tuple: empty stream name,
+// seq, ts, and a zero-value count with no span.
+const minTupleWire = 4 + 8 + 8 + 2
+
+// clampBatchCap bounds a wire-declared batch count by what the remaining
+// buffer could physically hold, so a corrupt 4-byte header can cost at
+// most a small allocation before the first truncated-tuple error.
+func clampBatchCap(n, remaining int) int {
+	if maxFit := remaining/minTupleWire + 1; n > maxFit {
+		return maxFit
+	}
+	return n
+}
+
+// --- Pooled hot-path codec ---------------------------------------------
+//
+// The relay data plane decodes and re-encodes a batch on every hop.
+// DecodeTuple/DecodeBatch allocate a Values slice per tuple and a fresh
+// string per stream name; at relay rates that dominates the profile. A
+// DecodeBuffer amortizes all of it: tuples land in a reusable Batch, all
+// values in one flat arena, and stream names (plus short string values)
+// are interned so steady-state decoding allocates nothing.
+//
+// Ownership contract: the Batch returned by DecodeBuffer.Decode — tuples,
+// Values, and (interned) strings — is valid only until the next Decode on
+// the same buffer or until the buffer is returned to the pool. Callers
+// that hand tuples to anyone who may retain them (engines, windows, user
+// subscribers) must clone them out first; the relay does exactly that for
+// local delivery and treats forwarded payloads as consumed once
+// Transport.Send returns (see simnet.Transport).
+
+// maxInternedValueLen bounds which string values are interned; longer
+// strings are assumed unique payloads not worth caching.
+const maxInternedValueLen = 64
+
+// maxInternedValues bounds the value-intern table so adversarial or
+// high-cardinality streams cannot grow it without limit.
+const maxInternedValues = 1 << 15
+
+// DecodeBuffer decodes batches with reusable storage. Not safe for
+// concurrent use; get one per goroutine via GetDecodeBuffer.
+type DecodeBuffer struct {
+	tuples Batch
+	vals   []Value // arena shared by every tuple's Values
+	starts []int   // vals offset where each tuple's values begin
+	names  map[string]string
+	strs   map[string]string
+}
+
+// internName returns a stable string for a stream name, allocating only
+// the first time each distinct name is seen. Stream-name cardinality is
+// tiny (one per stream), so the table is unbounded.
+func (d *DecodeBuffer) internName(b []byte) string {
+	if s, ok := d.names[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+// internString returns a stable string for a short string value, bounded
+// in both entry length and table size.
+func (d *DecodeBuffer) internString(b []byte) string {
+	if len(b) > maxInternedValueLen {
+		return string(b)
+	}
+	if s, ok := d.strs[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(d.strs) < maxInternedValues {
+		d.strs[s] = s
+	}
+	return s
+}
+
+// Decode decodes a batch from the front of buf into the buffer's
+// reusable storage, returning the batch and bytes consumed. The returned
+// Batch is owned by the DecodeBuffer (see the contract above). On error
+// the buffer's contents are unspecified but the buffer remains usable.
+func (d *DecodeBuffer) Decode(buf []byte) (Batch, int, error) {
+	if d.names == nil {
+		d.names = make(map[string]string, 8)
+		d.strs = make(map[string]string, 64)
+	}
+	d.tuples = d.tuples[:0]
+	d.vals = d.vals[:0]
+	d.starts = d.starts[:0]
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("stream: truncated batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	if n > 1<<24 {
+		return nil, 0, fmt.Errorf("stream: batch count %d exceeds bound", n)
+	}
+	if c := clampBatchCap(n, len(buf)-off); cap(d.tuples) < c {
+		d.tuples = make(Batch, 0, c)
+		d.starts = make([]int, 0, c)
+	}
+	for i := 0; i < n; i++ {
+		used, err := d.decodeTuple(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("stream: batch tuple %d: %w", i, err)
+		}
+		off += used
+	}
+	// The arena may have been reallocated by growth during the loop, so
+	// only now re-slice each tuple's Values out of its final backing
+	// array. The three-index slice keeps tuples from appending into each
+	// other's tails.
+	for i := range d.tuples {
+		s := d.starts[i]
+		e := len(d.vals)
+		if i+1 < len(d.tuples) {
+			e = d.starts[i+1]
+		}
+		d.tuples[i].Values = d.vals[s:e:e]
+	}
+	return d.tuples, off, nil
+}
+
+// decodeTuple mirrors DecodeTuple but appends into the buffer's arena and
+// interns strings instead of allocating per tuple.
+func (d *DecodeBuffer) decodeTuple(buf []byte) (int, error) {
+	off := 0
+	need := func(n int) error {
+		if len(buf)-off < n {
+			return fmt.Errorf("stream: truncated tuple (need %d bytes at offset %d, have %d)",
+				n, off, len(buf)-off)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return 0, err
+	}
+	slen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if slen > maxWireString {
+		return 0, fmt.Errorf("stream: stream name length %d exceeds bound", slen)
+	}
+	if err := need(slen + 8 + 8 + 2); err != nil {
+		return 0, err
+	}
+	var t Tuple
+	t.Stream = d.internName(buf[off : off+slen])
+	off += slen
+	t.Seq = binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	t.Ts = unixNano(int64(binary.LittleEndian.Uint64(buf[off:])))
+	off += 8
+	rawVals := binary.LittleEndian.Uint16(buf[off:])
+	off += 2
+	hasSpan := rawVals&wireSpanFlag != 0
+	nvals := int(rawVals &^ uint16(wireSpanFlag))
+	d.starts = append(d.starts, len(d.vals))
+	for i := 0; i < nvals; i++ {
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindInt:
+			if err := need(8); err != nil {
+				return 0, err
+			}
+			d.vals = append(d.vals, Int(int64(binary.LittleEndian.Uint64(buf[off:]))))
+			off += 8
+		case KindFloat:
+			if err := need(8); err != nil {
+				return 0, err
+			}
+			d.vals = append(d.vals, Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))))
+			off += 8
+		case KindString:
+			if err := need(4); err != nil {
+				return 0, err
+			}
+			n := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if n > maxWireString {
+				return 0, fmt.Errorf("stream: string value length %d exceeds bound", n)
+			}
+			if err := need(n); err != nil {
+				return 0, err
+			}
+			d.vals = append(d.vals, String(d.internString(buf[off:off+n])))
+			off += n
+		default:
+			return 0, fmt.Errorf("stream: unknown value kind %d", kind)
+		}
+	}
+	if hasSpan {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		t.Span = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	d.tuples = append(d.tuples, t)
+	return off, nil
+}
+
+var decodeBufPool = sync.Pool{New: func() any { return new(DecodeBuffer) }}
+
+// GetDecodeBuffer returns a DecodeBuffer from a process-wide pool.
+func GetDecodeBuffer() *DecodeBuffer { return decodeBufPool.Get().(*DecodeBuffer) }
+
+// PutDecodeBuffer returns a buffer to the pool. Any Batch previously
+// returned by its Decode becomes invalid.
+func PutDecodeBuffer(d *DecodeBuffer) {
+	if d != nil {
+		decodeBufPool.Put(d)
+	}
+}
+
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetEncodeBuffer returns a pooled byte buffer (length 0) for use with
+// AppendBatch/AppendTuple on the hot path.
+func GetEncodeBuffer() *[]byte { return encodeBufPool.Get().(*[]byte) }
+
+// PutEncodeBuffer returns a buffer to the pool. The caller must no longer
+// reference any payload sliced from it — on send paths that is guaranteed
+// by the Transport.Send contract (payload fully consumed before Send
+// returns).
+func PutEncodeBuffer(b *[]byte) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	encodeBufPool.Put(b)
 }

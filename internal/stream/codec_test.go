@@ -1,9 +1,11 @@
 package stream
 
 import (
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 )
 
 func TestTupleRoundTrip(t *testing.T) {
@@ -276,5 +278,107 @@ func TestBatchSpanRoundTrip(t *testing.T) {
 	}
 	if dec[0].Span != 0 || dec[1].Span != 77 {
 		t.Fatalf("spans = %d,%d want 0,77", dec[0].Span, dec[1].Span)
+	}
+}
+
+// TestDecodeBatchCorruptCountClamped proves a corrupt count header cannot
+// preallocate gigabytes: capacity stays bounded by what the buffer could
+// physically hold, and the decode fails fast on the missing tuples.
+func TestDecodeBatchCorruptCountClamped(t *testing.T) {
+	payload := binary.LittleEndian.AppendUint32(nil, 1<<24-1) // huge count, no body
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := DecodeBatch(payload); err == nil {
+			t.Fatal("want error for truncated batch")
+		}
+	})
+	// The clamp makes the header-only prealloc tiny: a handful of
+	// allocations, not a 16M-entry Batch.
+	if allocs > 8 {
+		t.Fatalf("corrupt header cost %.0f allocs per decode, want a small constant", allocs)
+	}
+	if got := clampBatchCap(1<<24, 0); got != 1 {
+		t.Fatalf("clampBatchCap(1<<24, 0) = %d, want 1", got)
+	}
+	if got := clampBatchCap(3, 1<<20); got != 3 {
+		t.Fatalf("clampBatchCap must not clamp plausible counts: got %d, want 3", got)
+	}
+}
+
+// TestDecodeBufferRoundTrip checks the pooled arena decoder agrees with
+// DecodeBatch, including trace spans and string interning.
+func TestDecodeBufferRoundTrip(t *testing.T) {
+	b := Batch{
+		NewTuple("quotes", 1, time.Unix(1, 0).UTC(), String("ibm"), Float(90.25), Int(-7)),
+		NewTuple("quotes", 2, time.Unix(2, 5).UTC(), String("ibm"), Float(91), Int(3)),
+		NewTuple("quotes", 3, time.Unix(3, 0).UTC()),
+	}
+	b[1].Span = 77
+	enc := AppendBatch(nil, b)
+	d := GetDecodeBuffer()
+	defer PutDecodeBuffer(d)
+	dec, used, err := d.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(enc) {
+		t.Fatalf("consumed %d of %d", used, len(enc))
+	}
+	if len(dec) != len(b) {
+		t.Fatalf("decoded %d tuples, want %d", len(dec), len(b))
+	}
+	for i := range b {
+		assertTupleEqual(t, b[i], dec[i])
+		if dec[i].Span != b[i].Span {
+			t.Fatalf("tuple %d span = %d, want %d", i, dec[i].Span, b[i].Span)
+		}
+	}
+	// Interning: both tuples must share one stream-name string and one
+	// "ibm" value string.
+	if unsafe.StringData(dec[0].Stream) != unsafe.StringData(dec[1].Stream) {
+		t.Fatal("stream names not interned")
+	}
+	if unsafe.StringData(dec[0].Values[0].AsString()) != unsafe.StringData(dec[1].Values[0].AsString()) {
+		t.Fatal("string values not interned")
+	}
+}
+
+// TestDecodeBufferZeroAllocsSteadyState is the hot-path regression guard:
+// after warmup, decoding the same-shaped traffic allocates nothing.
+func TestDecodeBufferZeroAllocsSteadyState(t *testing.T) {
+	b := make(Batch, 0, 64)
+	for i := 0; i < 64; i++ {
+		b = append(b, NewTuple("quotes", uint64(i), time.Unix(int64(i), 0).UTC(),
+			String("ibm"), Float(float64(i)), Int(int64(i))))
+	}
+	enc := AppendBatch(nil, b)
+	d := GetDecodeBuffer()
+	defer PutDecodeBuffer(d)
+	if _, _, err := d.Decode(enc); err != nil { // warmup: grows arena, interns strings
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := d.Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decode allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDecodeBufferCorruptInput mirrors the DecodeBatch error cases.
+func TestDecodeBufferCorruptInput(t *testing.T) {
+	d := GetDecodeBuffer()
+	defer PutDecodeBuffer(d)
+	if _, _, err := d.Decode(nil); err == nil {
+		t.Fatal("want error for empty buffer")
+	}
+	enc := AppendBatch(nil, Batch{NewTuple("s", 1, time.Unix(0, 0).UTC(), Int(1))})
+	if _, _, err := d.Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("want error for truncated tuple")
+	}
+	// The buffer stays usable after an error.
+	if _, _, err := d.Decode(enc); err != nil {
+		t.Fatalf("decode after error: %v", err)
 	}
 }

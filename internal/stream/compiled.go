@@ -1,0 +1,193 @@
+package stream
+
+// Compiled interest evaluation for the tuple hot path. Interest.Matches
+// resolves field names through Schema.FieldIndex and iterates Go maps on
+// every call — fine for control-plane work, far too slow for a relay that
+// evaluates every tuple against every child's registration. Compiling an
+// interest against its schema once (at registration time) moves all name
+// resolution and map construction off the per-tuple path: a
+// CompiledInterest stores constraints in flat slices indexed by field
+// position and evaluates with zero allocations and zero map iteration.
+//
+// CompiledInterest.Matches is semantically identical to Interest.Matches
+// (see the equivalence tests in compiled_test.go): a tuple from another
+// stream never matches, and a constraint naming a field absent from the
+// schema makes the interest match nothing.
+
+// rangeCheck is one compiled numeric constraint: field position plus the
+// closed interval.
+type rangeCheck struct {
+	idx    int
+	lo, hi float64
+}
+
+// keyCheck is one compiled string-membership constraint. Single-key sets
+// (by far the most common registration: "symbol == ibm") compare directly
+// against one string; larger sets probe a map keyed only at compile time.
+type keyCheck struct {
+	idx    int
+	single string
+	set    map[string]struct{} // nil when single carries the constraint
+}
+
+// CompiledInterest is an Interest bound to a Schema for constant-time,
+// allocation-free evaluation. The zero value matches nothing; build one
+// with CompileInterest. A CompiledInterest is immutable after compilation
+// and safe for concurrent use.
+type CompiledInterest struct {
+	stream string
+	// dead marks an interest constraining a field the schema does not
+	// declare: it can never match (the same conservative choice
+	// Interest.Matches makes).
+	dead          bool
+	unconstrained bool
+	ranges        []rangeCheck
+	keys          []keyCheck
+}
+
+// CompileInterest resolves the interest's field names against the schema
+// and returns the compiled form. A nil schema compiles every constrained
+// interest to dead (nothing can be resolved), matching the behaviour of
+// Interest.Matches which requires a schema to look up fields.
+func CompileInterest(in Interest, s *Schema) CompiledInterest {
+	c := CompiledInterest{stream: in.Stream}
+	if in.Unconstrained() {
+		c.unconstrained = true
+		return c
+	}
+	if s == nil {
+		c.dead = true
+		return c
+	}
+	for field, r := range in.Ranges {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			c.dead = true
+			return c
+		}
+		c.ranges = append(c.ranges, rangeCheck{idx: i, lo: r.Lo, hi: r.Hi})
+	}
+	for field, set := range in.Keys {
+		i, ok := s.FieldIndex(field)
+		if !ok {
+			c.dead = true
+			return c
+		}
+		kc := keyCheck{idx: i}
+		if len(set) == 1 {
+			for k := range set {
+				kc.single = k
+			}
+		} else {
+			kc.set = make(map[string]struct{}, len(set))
+			for k := range set {
+				kc.set[k] = struct{}{}
+			}
+		}
+		c.keys = append(c.keys, kc)
+	}
+	return c
+}
+
+// Matches reports whether the tuple satisfies the compiled interest. It
+// is equivalent to the source Interest's Matches against the compile-time
+// schema, but performs no name resolution, no map iteration, and no
+// allocation.
+func (c *CompiledInterest) Matches(t Tuple) bool {
+	if t.Stream != c.stream || c.dead {
+		return false
+	}
+	return c.matchValues(t)
+}
+
+// matchValues evaluates only the value constraints (the caller has
+// already checked the stream).
+func (c *CompiledInterest) matchValues(t Tuple) bool {
+	for i := range c.ranges {
+		rc := &c.ranges[i]
+		// Same comparison shape as Range.Contains so NaN behaves
+		// identically (never inside any range).
+		v := t.Value(rc.idx).AsFloat()
+		if !(v >= rc.lo && v <= rc.hi) {
+			return false
+		}
+	}
+	for i := range c.keys {
+		kc := &c.keys[i]
+		sv := t.Value(kc.idx).AsString()
+		if kc.set == nil {
+			if sv != kc.single {
+				return false
+			}
+		} else if _, ok := kc.set[sv]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Unconstrained reports whether the compiled interest matches every tuple
+// of its stream.
+func (c *CompiledInterest) Unconstrained() bool { return c.unconstrained }
+
+// CompiledSet is an InterestSet bound to a schema: a disjunction of
+// compiled terms sharing one stream check. It is immutable after
+// compilation and safe for concurrent use; relays swap in a freshly
+// compiled set whenever a registration changes.
+type CompiledSet struct {
+	stream string
+	terms  []CompiledInterest
+	// matchAll is set when any term is unconstrained: the whole set then
+	// reduces to a stream check. Relays use it to forward an incoming
+	// wire payload verbatim instead of re-encoding.
+	matchAll bool
+}
+
+// CompileSet compiles every term of the set against the schema. Dead
+// terms (constraining fields the schema lacks) are dropped — they can
+// never match, exactly as in the interpreted evaluation.
+func CompileSet(set *InterestSet, s *Schema) *CompiledSet {
+	cs := &CompiledSet{stream: set.Stream}
+	for _, term := range set.Terms {
+		ct := CompileInterest(term, s)
+		if ct.dead {
+			continue
+		}
+		if ct.unconstrained {
+			cs.matchAll = true
+		}
+		cs.terms = append(cs.terms, ct)
+	}
+	return cs
+}
+
+// Stream returns the stream every term applies to.
+func (cs *CompiledSet) Stream() string { return cs.stream }
+
+// Matches reports whether any term matches the tuple. Equivalent to
+// InterestSet.Matches against the compile-time schema.
+func (cs *CompiledSet) Matches(t Tuple) bool {
+	if t.Stream != cs.stream {
+		return false
+	}
+	if cs.matchAll {
+		return true
+	}
+	for i := range cs.terms {
+		if cs.terms[i].matchValues(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// NeverMatches reports whether the set can match no tuple at all (no
+// live terms).
+func (cs *CompiledSet) NeverMatches() bool { return len(cs.terms) == 0 }
+
+// MatchesAll reports whether the set matches every tuple of its stream —
+// the pass-through signal for relays.
+func (cs *CompiledSet) MatchesAll() bool { return cs.matchAll }
+
+// NumTerms returns the number of live (non-dead) compiled terms.
+func (cs *CompiledSet) NumTerms() int { return len(cs.terms) }

@@ -1,0 +1,268 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func compiledTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("quotes",
+		Field{Name: "symbol", Type: KindString, Card: 100},
+		Field{Name: "price", Type: KindFloat, Lo: 0, Hi: 500},
+		Field{Name: "size", Type: KindInt, Lo: 0, Hi: 10000},
+		Field{Name: "venue", Type: KindString, Card: 8},
+	)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+// TestCompiledInterestEquivalenceTable pins the tricky cases by hand:
+// wrong stream, absent fields, single- and multi-key sets, empty sets,
+// and values outside the tuple's arity.
+func TestCompiledInterestEquivalenceTable(t *testing.T) {
+	sc := compiledTestSchema(t)
+	mk := func(sym string, price float64, size int64, venue string) Tuple {
+		return NewTuple("quotes", 1, time.Unix(0, 0),
+			String(sym), Float(price), Int(size), String(venue))
+	}
+	cases := []struct {
+		name string
+		in   Interest
+		t    Tuple
+	}{
+		{"unconstrained", NewInterest("quotes"), mk("ibm", 10, 5, "nyse")},
+		{"wrong stream", NewInterest("trades").WithRange("price", 0, 100), mk("ibm", 10, 5, "nyse")},
+		{"wrong stream tuple", NewInterest("quotes").WithRange("price", 0, 100),
+			NewTuple("trades", 1, time.Unix(0, 0), Float(10))},
+		{"range hit", NewInterest("quotes").WithRange("price", 5, 15), mk("ibm", 10, 5, "nyse")},
+		{"range miss", NewInterest("quotes").WithRange("price", 5, 15), mk("ibm", 20, 5, "nyse")},
+		{"range boundary lo", NewInterest("quotes").WithRange("price", 10, 15), mk("ibm", 10, 5, "nyse")},
+		{"range boundary hi", NewInterest("quotes").WithRange("price", 5, 10), mk("ibm", 10, 5, "nyse")},
+		{"range on int field", NewInterest("quotes").WithRange("size", 0, 10), mk("ibm", 10, 5, "nyse")},
+		{"absent field range", NewInterest("quotes").WithRange("ghost", 0, 100), mk("ibm", 10, 5, "nyse")},
+		{"absent field keys", NewInterest("quotes").WithKeys("ghost", "x"), mk("ibm", 10, 5, "nyse")},
+		{"single key hit", NewInterest("quotes").WithKeys("symbol", "ibm"), mk("ibm", 10, 5, "nyse")},
+		{"single key miss", NewInterest("quotes").WithKeys("symbol", "aapl"), mk("ibm", 10, 5, "nyse")},
+		{"multi key hit", NewInterest("quotes").WithKeys("symbol", "aapl", "ibm", "msft"), mk("ibm", 10, 5, "nyse")},
+		{"multi key miss", NewInterest("quotes").WithKeys("symbol", "aapl", "msft"), mk("ibm", 10, 5, "nyse")},
+		{"key on numeric field", NewInterest("quotes").WithKeys("price", "10"), mk("ibm", 10, 5, "nyse")},
+		{"combined hit", NewInterest("quotes").WithRange("price", 5, 15).WithKeys("venue", "nyse"),
+			mk("ibm", 10, 5, "nyse")},
+		{"combined half miss", NewInterest("quotes").WithRange("price", 5, 15).WithKeys("venue", "bats"),
+			mk("ibm", 10, 5, "nyse")},
+		{"short tuple", NewInterest("quotes").WithKeys("venue", "nyse"),
+			NewTuple("quotes", 1, time.Unix(0, 0), String("ibm"))},
+		{"short tuple range", NewInterest("quotes").WithRange("price", 5, 15),
+			NewTuple("quotes", 1, time.Unix(0, 0), String("ibm"))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.in.Matches(sc, tc.t)
+			c := CompileInterest(tc.in, sc)
+			if got := c.Matches(tc.t); got != want {
+				t.Fatalf("CompiledInterest.Matches = %v, Interest.Matches = %v", got, want)
+			}
+		})
+	}
+}
+
+// randomInterest builds a random interest over the schema, sometimes
+// constraining fields the schema does not have and sometimes using the
+// wrong stream.
+func randomInterest(rng *rand.Rand, sc *Schema) Interest {
+	streamName := sc.Name()
+	if rng.Intn(10) == 0 {
+		streamName = "other"
+	}
+	in := NewInterest(streamName)
+	syms := []string{"ibm", "aapl", "msft", "goog", "amzn"}
+	for i := 0; i < sc.NumFields(); i++ {
+		f := sc.Field(i)
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		switch f.Type {
+		case KindString:
+			n := 1 + rng.Intn(3)
+			ks := make([]string, 0, n)
+			for j := 0; j < n; j++ {
+				ks = append(ks, syms[rng.Intn(len(syms))])
+			}
+			in = in.WithKeys(f.Name, ks...)
+		default:
+			lo := rng.Float64() * 100
+			in = in.WithRange(f.Name, lo, lo+rng.Float64()*100)
+		}
+	}
+	if rng.Intn(8) == 0 {
+		in = in.WithRange("ghost", 0, 1) // absent from the schema
+	}
+	return in
+}
+
+func randomTuple(rng *rand.Rand, stream string) Tuple {
+	syms := []string{"ibm", "aapl", "msft", "goog", "amzn"}
+	venues := []string{"nyse", "bats", "arca"}
+	nvals := rng.Intn(6) // sometimes shorter/longer than the schema
+	vals := make([]Value, 0, nvals)
+	for i := 0; i < nvals; i++ {
+		switch i {
+		case 0:
+			vals = append(vals, String(syms[rng.Intn(len(syms))]))
+		case 1:
+			vals = append(vals, Float(rng.Float64()*200))
+		case 2:
+			vals = append(vals, Int(int64(rng.Intn(1000))))
+		default:
+			vals = append(vals, String(venues[rng.Intn(len(venues))]))
+		}
+	}
+	return NewTuple(stream, uint64(rng.Intn(1000)), time.Unix(0, 0), vals...)
+}
+
+// TestCompiledInterestEquivalenceRandom fuzzes Matches equivalence over
+// randomized interests and tuples (seeded for reproducibility).
+func TestCompiledInterestEquivalenceRandom(t *testing.T) {
+	sc := compiledTestSchema(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		in := randomInterest(rng, sc)
+		c := CompileInterest(in, sc)
+		tupleStream := "quotes"
+		if rng.Intn(10) == 0 {
+			tupleStream = "other"
+		}
+		tu := randomTuple(rng, tupleStream)
+		want := in.Matches(sc, tu)
+		if got := c.Matches(tu); got != want {
+			t.Fatalf("trial %d: compiled=%v interpreted=%v\ninterest=%+v\ntuple=%+v",
+				trial, got, want, in, tu)
+		}
+	}
+}
+
+// TestCompiledSetEquivalenceRandom fuzzes the set-level disjunction,
+// including empty sets and sets whose every term is dead.
+func TestCompiledSetEquivalenceRandom(t *testing.T) {
+	sc := compiledTestSchema(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		set := NewInterestSet("quotes")
+		for n := rng.Intn(4); n > 0; n-- {
+			set.Add(randomInterest(rng, sc))
+		}
+		cs := CompileSet(set, sc)
+		for probe := 0; probe < 20; probe++ {
+			tupleStream := "quotes"
+			if rng.Intn(10) == 0 {
+				tupleStream = "other"
+			}
+			tu := randomTuple(rng, tupleStream)
+			want := set.Matches(sc, tu)
+			if got := cs.Matches(tu); got != want {
+				t.Fatalf("trial %d: compiled=%v interpreted=%v\nset=%+v\ntuple=%+v",
+					trial, got, want, set, tu)
+			}
+		}
+	}
+}
+
+// TestCompiledSetFlags pins the relay-facing signals: NeverMatches for
+// empty/dead sets, MatchesAll for unconstrained terms.
+func TestCompiledSetFlags(t *testing.T) {
+	sc := compiledTestSchema(t)
+	empty := CompileSet(NewInterestSet("quotes"), sc)
+	if !empty.NeverMatches() {
+		t.Fatal("empty set should never match")
+	}
+	deadOnly := NewInterestSet("quotes")
+	deadOnly.Add(NewInterest("quotes").WithRange("ghost", 0, 1))
+	if cs := CompileSet(deadOnly, sc); !cs.NeverMatches() {
+		t.Fatal("all-dead set should never match")
+	}
+	all := NewInterestSet("quotes")
+	all.Add(NewInterest("quotes"))
+	cs := CompileSet(all, sc)
+	if !cs.MatchesAll() || cs.NeverMatches() {
+		t.Fatalf("unconstrained set: MatchesAll=%v NeverMatches=%v", cs.MatchesAll(), cs.NeverMatches())
+	}
+	// MatchesAll still refuses tuples from another stream.
+	if cs.Matches(NewTuple("other", 1, time.Unix(0, 0), Int(1))) {
+		t.Fatal("MatchesAll set matched a wrong-stream tuple")
+	}
+}
+
+// TestCompiledMatchZeroAllocs is the regression guard for the hot path:
+// a compiled match must not allocate.
+func TestCompiledMatchZeroAllocs(t *testing.T) {
+	sc := compiledTestSchema(t)
+	set := NewInterestSet("quotes")
+	set.Add(NewInterest("quotes").WithRange("price", 5, 100).WithKeys("symbol", "ibm", "aapl"))
+	set.Add(NewInterest("quotes").WithKeys("venue", "nyse"))
+	cs := CompileSet(set, sc)
+	tuples := []Tuple{
+		NewTuple("quotes", 1, time.Unix(0, 0), String("ibm"), Float(50), Int(10), String("bats")),
+		NewTuple("quotes", 2, time.Unix(0, 0), String("goog"), Float(50), Int(10), String("bats")),
+		NewTuple("other", 3, time.Unix(0, 0), Int(1)),
+	}
+	sink := false
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, tu := range tuples {
+			sink = cs.Matches(tu) || sink
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CompiledSet.Matches allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestSimplifyMemoizedMatchesBruteForce checks the memoized Simplify
+// against a literal reimplementation of the original O(n^3) loop.
+func TestSimplifyMemoizedMatchesBruteForce(t *testing.T) {
+	sc := compiledTestSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		set := NewInterestSet("quotes")
+		for n := 3 + rng.Intn(8); n > 0; n-- {
+			set.Add(randomInterest(rng, sc))
+		}
+		want := set.Clone()
+		simplifyBruteForce(want, sc, 2)
+		got := set.Clone()
+		got.Simplify(sc, 2)
+		if fmt.Sprintf("%+v", got.Terms) != fmt.Sprintf("%+v", want.Terms) {
+			t.Fatalf("trial %d: memoized Simplify diverged\ngot  %+v\nwant %+v", trial, got.Terms, want.Terms)
+		}
+	}
+}
+
+// simplifyBruteForce is the pre-memoization Simplify, kept verbatim as
+// the behavioral oracle.
+func simplifyBruteForce(s *InterestSet, sc *Schema, maxTerms int) {
+	if maxTerms < 1 {
+		maxTerms = 1
+	}
+	for len(s.Terms) > maxTerms {
+		bestI, bestJ := 0, 1
+		bestCost := 1e308
+		for i := 0; i < len(s.Terms); i++ {
+			for j := i + 1; j < len(s.Terms); j++ {
+				cov := Cover(s.Terms[i], s.Terms[j])
+				cost := cov.Selectivity(sc) -
+					s.Terms[i].Selectivity(sc) - s.Terms[j].Selectivity(sc)
+				if cost < bestCost {
+					bestCost, bestI, bestJ = cost, i, j
+				}
+			}
+		}
+		merged := Cover(s.Terms[bestI], s.Terms[bestJ])
+		s.Terms[bestI] = merged
+		s.Terms = append(s.Terms[:bestJ], s.Terms[bestJ+1:]...)
+	}
+}

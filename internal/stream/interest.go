@@ -366,22 +366,36 @@ func (s *InterestSet) Simplify(sc *Schema, maxTerms int) {
 	if maxTerms < 1 {
 		maxTerms = 1
 	}
+	if len(s.Terms) <= maxTerms {
+		return
+	}
+	// Term selectivities are memoized across merge steps: each pass only
+	// computes Selectivity for candidate covers, and a merge reuses the
+	// winning cover's selectivity instead of recomputing it next round.
+	sels := make([]float64, len(s.Terms))
+	for i := range s.Terms {
+		sels[i] = s.Terms[i].Selectivity(sc)
+	}
 	for len(s.Terms) > maxTerms {
 		bestI, bestJ := 0, 1
 		bestCost := math.Inf(1)
+		var bestCov Interest
+		bestCovSel := 0.0
 		for i := 0; i < len(s.Terms); i++ {
 			for j := i + 1; j < len(s.Terms); j++ {
 				cov := Cover(s.Terms[i], s.Terms[j])
-				cost := cov.Selectivity(sc) -
-					s.Terms[i].Selectivity(sc) - s.Terms[j].Selectivity(sc)
+				covSel := cov.Selectivity(sc)
+				cost := covSel - sels[i] - sels[j]
 				if cost < bestCost {
 					bestCost, bestI, bestJ = cost, i, j
+					bestCov, bestCovSel = cov, covSel
 				}
 			}
 		}
-		merged := Cover(s.Terms[bestI], s.Terms[bestJ])
-		s.Terms[bestI] = merged
+		s.Terms[bestI] = bestCov
+		sels[bestI] = bestCovSel
 		s.Terms = append(s.Terms[:bestJ], s.Terms[bestJ+1:]...)
+		sels = append(sels[:bestJ], sels[bestJ+1:]...)
 	}
 }
 
