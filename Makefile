@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench-chaos bench-observability bench-tuplepath bench
+.PHONY: check vet staticcheck build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench
 
-check: vet build chaos bench-tuplepath
+check: vet staticcheck build chaos bench-tuplepath bench-statsplane
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional: run it when the toolchain has it, otherwise
+# skip with a note (the container image does not bundle it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -35,6 +44,12 @@ bench-observability:
 # ns/tuple. Fails if the relay speedup drops below the 2x acceptance bar.
 bench-tuplepath:
 	$(GO) run ./cmd/sspd-bench -tuplepath BENCH_tuplepath.json
+
+# Appends the stats-plane costs (digest merge, journal append, tuple
+# path with the plane on vs. off) into BENCH_observability.json. Fails
+# if enabling the plane costs the tuple path more than 1%.
+bench-statsplane:
+	$(GO) run ./cmd/sspd-bench -statsplane BENCH_observability.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

@@ -38,6 +38,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	obs := flag.String("observability", "", "run the observability overhead bench and write its JSON report to this file")
 	tuplepath := flag.String("tuplepath", "", "run the hot-tuple-path bench (codec/match/relay) and write its JSON report to this file")
+	statsplane := flag.String("statsplane", "", "run the stats-plane overhead bench and append its results into this JSON report (typically BENCH_observability.json)")
 	chaos := flag.String("chaos", "", "run the chaos/recovery bench with this fault spec, e.g. drop=0.05,dup=0.02,partition=500ms,crash=1,seed=7")
 	chaosOut := flag.String("chaos-out", "BENCH_robustness.json", "output path for the chaos bench JSON report")
 	flag.Parse()
@@ -56,6 +57,13 @@ func main() {
 	}
 	if *tuplepath != "" {
 		if err := runTuplepathBench(*tuplepath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *statsplane != "" {
+		if err := runStatsplaneBench(*statsplane); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sspd/internal/coordinator"
+	"sspd/internal/core"
+	"sspd/internal/engine"
+	"sspd/internal/obslog"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+// statsplaneReport is appended into BENCH_observability.json: the cost
+// of the cluster stats plane (DESIGN.md §9). Digest merging and journal
+// appends happen off the tuple path; the end-to-end on/off comparison
+// bounds what the plane's background folding costs flowing tuples.
+type statsplaneReport struct {
+	// NsPerDigestMerge is one MergeRows of a full 32-entity digest into
+	// an equally sized table — the per-push cost at an interior node.
+	NsPerDigestMerge float64 `json:"ns_per_digest_merge"`
+	// NsPerJournalAppend is one structured event append into the
+	// bounded flight recorder.
+	NsPerJournalAppend float64 `json:"ns_per_journal_append"`
+	// NsPerTuplePlaneOff / On are end-to-end publish->result costs per
+	// tuple with the stats plane disabled and enabled (50ms period).
+	NsPerTuplePlaneOff float64 `json:"ns_per_tuple_plane_off"`
+	NsPerTuplePlaneOn  float64 `json:"ns_per_tuple_plane_on"`
+	// PlaneOverheadPct is the on/off delta; the acceptance bar is <= 1.
+	PlaneOverheadPct float64 `json:"plane_overhead_pct"`
+}
+
+// maxPlaneOverheadPct is the regression gate enforced by bench-statsplane.
+const maxPlaneOverheadPct = 1.0
+
+func runStatsplaneBench(path string) error {
+	var rep statsplaneReport
+
+	// Digest merge: a realistic 32-entity table refreshed by an equally
+	// wide incoming digest, every row carrying sparklines, per-query
+	// loads, and per-stream meters.
+	const nRows = 32
+	mkRows := func(seqBase uint64) map[string]coordinator.EntityStats {
+		rows := make(map[string]coordinator.EntityStats, nRows)
+		for i := 0; i < nRows; i++ {
+			id := fmt.Sprintf("e%02d", i)
+			spark := make([]float64, coordinator.SparkLen)
+			for j := range spark {
+				spark[j] = float64(j) / 32
+			}
+			rows[id] = coordinator.EntityStats{
+				Entity: id, Seq: seqBase + uint64(i), UnixNano: int64(seqBase),
+				Load: 5, Queries: 3, PRMax: 0.4, PRSpark: spark,
+				QueryLoads: map[string]float64{"q1": 2, "q2": 1.5, "q3": 1.5},
+				Streams: map[string]coordinator.StreamStats{
+					"quotes": {Bytes: 1 << 20, Messages: 4096, BytesPerSec: 64e3},
+				},
+			}
+		}
+		return rows
+	}
+	dst := mkRows(1)
+	src := mkRows(2)
+	const mergeIters = 100_000
+	start := time.Now()
+	for i := 0; i < mergeIters; i++ {
+		coordinator.MergeRows(dst, src)
+	}
+	rep.NsPerDigestMerge = float64(time.Since(start).Nanoseconds()) / float64(mergeIters)
+
+	// Journal append at the default flight-recorder capacity, steady
+	// state (ring full, evicting).
+	j := obslog.NewJournal(obslog.DefaultJournalCapacity)
+	fields := map[string]string{"stream": "quotes", "rewires": "2"}
+	const appendIters = 2_000_000
+	start = time.Now()
+	for i := 0; i < appendIters; i++ {
+		j.Append(obslog.Event{Level: "INFO", Kind: "tree.repair", Node: "e01",
+			Msg: "bench", Fields: fields})
+	}
+	rep.NsPerJournalAppend = float64(time.Since(start).Nanoseconds()) / float64(appendIters)
+
+	// End-to-end tuple path, plane off vs plane on. Same topology and
+	// best-of-N discipline as the observability bench, but a longer run:
+	// the drain-phase Quiesce polls in 1ms steps, so a stray digest push
+	// during the drain costs a fixed few milliseconds that must be
+	// amortized over enough tuples to not masquerade as per-tuple cost.
+	const (
+		nEntities = 4
+		nTuples   = 100_000
+		batchSize = 100
+		rounds    = 3
+	)
+	runOnce := func(plane bool) (float64, error) {
+		net := simnet.NewSim(nil)
+		defer net.Close()
+		catalog := workload.Catalog(100, 20)
+		fed, err := core.New(net, catalog, core.Options{Fanout: 3,
+			Logger: obslog.New(obslog.NewJournal(obslog.DefaultJournalCapacity), nil)})
+		if err != nil {
+			return 0, err
+		}
+		defer fed.Close()
+		if err := fed.AddSource("quotes", simnet.Point{},
+			core.StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+			return 0, err
+		}
+		mini := func(name string, c *stream.Catalog) engine.Processor {
+			return engine.NewMini(name, c)
+		}
+		for i := 0; i < nEntities; i++ {
+			if err := fed.AddEntity(fmt.Sprintf("e%02d", i),
+				simnet.Point{X: float64(10 + i*20)}, 2, mini); err != nil {
+				return 0, err
+			}
+		}
+		if err := fed.Start(); err != nil {
+			return 0, err
+		}
+		for q := 0; q < nEntities; q++ {
+			spec := engine.QuerySpec{
+				ID: fmt.Sprintf("q%d", q), Source: "quotes",
+				Filters: []engine.FilterSpec{{Field: "price", Lo: 0, Hi: 1000, Cost: 1}},
+				Load:    5,
+			}
+			if _, err := fed.SubmitQuery(spec, simnet.Point{X: float64(15 + q*20)}, nil); err != nil {
+				return 0, err
+			}
+		}
+		net.Quiesce(2 * time.Second)
+		if plane {
+			if err := fed.EnableStatsPlane(50 * time.Millisecond); err != nil {
+				return 0, err
+			}
+		}
+		tick := workload.NewTicker(1, 100, 1.2)
+		if err := fed.Publish("quotes", tick.Batch(batchSize)); err != nil {
+			return 0, err
+		}
+		net.Quiesce(2 * time.Second)
+		start := time.Now()
+		for sent := 0; sent < nTuples; sent += batchSize {
+			if err := fed.Publish("quotes", tick.Batch(batchSize)); err != nil {
+				return 0, err
+			}
+		}
+		net.Quiesce(10 * time.Second)
+		return float64(time.Since(start).Nanoseconds()) / float64(nTuples), nil
+	}
+	run := func(plane bool) (float64, error) {
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			ns, err := runOnce(plane)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	var err error
+	if rep.NsPerTuplePlaneOff, err = run(false); err != nil {
+		return err
+	}
+	if rep.NsPerTuplePlaneOn, err = run(true); err != nil {
+		return err
+	}
+	rep.PlaneOverheadPct = 100 * (rep.NsPerTuplePlaneOn - rep.NsPerTuplePlaneOff) / rep.NsPerTuplePlaneOff
+
+	if err := appendReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("statsplane bench: merge=%.0fns append=%.0fns tuple off=%.0fns on=%.0fns (%+.2f%%)\n",
+		rep.NsPerDigestMerge, rep.NsPerJournalAppend,
+		rep.NsPerTuplePlaneOff, rep.NsPerTuplePlaneOn, rep.PlaneOverheadPct)
+	fmt.Printf("  appended to %s\n", path)
+	if rep.PlaneOverheadPct > maxPlaneOverheadPct {
+		return fmt.Errorf("stats plane adds %.2f%% to the tuple path (bar: %.1f%%)",
+			rep.PlaneOverheadPct, maxPlaneOverheadPct)
+	}
+	return nil
+}
+
+// appendReport read-modify-writes rep's fields into the JSON object at
+// path, preserving whatever the observability bench already wrote.
+func appendReport(path string, rep statsplaneReport) error {
+	merged := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(repJSON, &fields); err != nil {
+		return err
+	}
+	for k, v := range fields {
+		merged[k] = v
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendReportMergesExistingFields: bench-statsplane must extend
+// BENCH_observability.json, not clobber the observability bench's keys.
+func TestAppendReportMergesExistingFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path,
+		[]byte(`{"ns_per_tuple_off": 123.5, "tuples": 20000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := statsplaneReport{NsPerDigestMerge: 7, NsPerJournalAppend: 3,
+		NsPerTuplePlaneOff: 100, NsPerTuplePlaneOn: 101, PlaneOverheadPct: 1}
+	if err := appendReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged map[string]any
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged["ns_per_tuple_off"] != 123.5 {
+		t.Fatalf("pre-existing key clobbered: %v", merged)
+	}
+	if merged["ns_per_digest_merge"] != 7.0 || merged["plane_overhead_pct"] != 1.0 {
+		t.Fatalf("new keys missing: %v", merged)
+	}
+}
+
+// TestAppendReportFreshFile: absent file starts a new object.
+func TestAppendReportFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	if err := appendReport(path, statsplaneReport{NsPerDigestMerge: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var merged map[string]any
+	data, _ := os.ReadFile(path)
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged["ns_per_digest_merge"] != 1.0 {
+		t.Fatalf("fresh write wrong: %v", merged)
+	}
+}
+
+// TestAppendReportRejectsNonObject: a corrupt report file is an error,
+// not silent data loss.
+func TestAppendReportRejectsNonObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`[1,2,3]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendReport(path, statsplaneReport{}); err == nil {
+		t.Fatal("appendReport accepted a non-object file")
+	}
+}

@@ -10,6 +10,8 @@
 //	\list                                   list active queries and hosts
 //	\drop <id>                              withdraw a query
 //	\stats                                  federation statistics
+//	\cluster                                cluster health from the root stats digest
+//	\events [kind]                          recent structured events (optionally filtered)
 //	\rebalance                              run a hybrid rebalance
 //	\save <file> / \load <file>             snapshot / restore the query set
 //	\quit                                   exit
@@ -116,6 +118,15 @@ func main() {
 	}()
 	defer close(stop)
 
+	// The stats plane powers \cluster, /cluster/metrics, and the ops
+	// view; it ticks off the tuple path, so keep it on whenever the
+	// portal is up.
+	statsPeriod := 2 * time.Second
+	if err := fed.EnableStatsPlane(statsPeriod); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *httpAddr != "" {
 		api, err := httpapi.New(fed, sspd.Point{X: 50, Y: 50})
 		if err != nil {
@@ -127,7 +138,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, "http:", err)
 			}
 		}()
-		fmt.Printf("JSON API listening on %s\n", *httpAddr)
+		fmt.Printf("JSON API listening on %s (ops view at http://localhost%s/cluster)\n",
+			*httpAddr, *httpAddr)
 	}
 
 	fmt.Printf("sspd portal: %d entities × %d processors, %d quotes/s (transport: %T)\n",
@@ -163,6 +175,52 @@ func main() {
 				tr.TotalBytes()/1024, tr.TotalMessages())
 			for _, c := range fed.Ledger().Charges() {
 				fmt.Printf("  %-4s charged %v\n", c.Entity, c.Execution.Round(time.Millisecond))
+			}
+		case line == `\cluster`:
+			rows, root, ok := fed.ClusterStats()
+			if !ok {
+				fmt.Println("  no digest at the root yet (stats federate every", statsPeriod, ")")
+				continue
+			}
+			fmt.Printf("  digest root: %s\n", root)
+			fmt.Printf("  %-6s %-8s %6s %7s %7s %6s\n", "entity", "health", "load", "queries", "pr_max", "age")
+			for _, h := range fed.ClusterHealth() {
+				state := "healthy"
+				switch {
+				case !h.Up:
+					state = "down"
+				case !h.Fresh:
+					state = "stale"
+				}
+				age := "—"
+				if h.AgeSeconds >= 0 {
+					age = fmt.Sprintf("%.1fs", h.AgeSeconds)
+				}
+				fmt.Printf("  %-6s %-8s %6.2f %7d %7.3f %6s\n",
+					h.Entity, state, h.Load, h.Queries, h.PRMax, age)
+			}
+			var bytes, msgs int64
+			for _, r := range rows {
+				for _, ss := range r.Streams {
+					bytes += ss.Bytes
+					msgs += ss.Messages
+				}
+			}
+			fmt.Printf("  relay traffic: %dKB in %d messages\n", bytes/1024, msgs)
+		case line == `\events` || strings.HasPrefix(line, `\events `):
+			kind := strings.TrimSpace(strings.TrimPrefix(line, `\events`))
+			events := fed.Journal().Recent(20)
+			shown := 0
+			for _, e := range events {
+				if kind != "" && !sspd.EventKindMatches(e.Kind, kind) {
+					continue
+				}
+				fmt.Printf("  #%-5d %-8s %-20s %-6s %s\n",
+					e.Seq, e.Level, e.Kind, e.Node, e.Msg)
+				shown++
+			}
+			if shown == 0 {
+				fmt.Println("  no matching events")
 			}
 		case line == `\rebalance`:
 			moved, err := fed.Rebalance(sspd.HybridRepartitioner{})

@@ -47,6 +47,43 @@ type Tree struct {
 		merges    metrics.Counter
 		recenters metrics.Counter
 	}
+
+	// sink, when set, observes structural operations the tree decides on
+	// its own (splits, merges, re-centerings) — joins/leaves/failures are
+	// driven, and therefore journaled, by the caller.
+	sink EventSink
+}
+
+// EventSink observes tree-internal structural operations. op is one of
+// "split", "merge", "recenter"; leader identifies the cluster involved
+// (the pre-operation leader) at the given level. Called synchronously
+// under the tree owner's serialization; keep it cheap.
+type EventSink func(op string, leader MemberID, level int)
+
+// SetEventSink installs the structural-event observer (nil disables).
+func (t *Tree) SetEventSink(s EventSink) { t.sink = s }
+
+func (t *Tree) emit(op string, leader MemberID, level int) {
+	if t.sink != nil {
+		t.sink(op, leader, level)
+	}
+}
+
+// StatsParent returns the next hop up the stats-aggregation overlay from
+// id: the leader of the lowest-level cluster that contains id but is not
+// led by id. Leaders thus skip the levels they lead themselves, and the
+// root (which leads every cluster on its chain) gets ok=false — it is
+// where digests stop. Unknown members also return ok=false.
+func (t *Tree) StatsParent(id MemberID) (MemberID, bool) {
+	if _, known := t.pos[id]; !known {
+		return "", false
+	}
+	for level := 0; level <= t.height; level++ {
+		if p, ok := t.parent[levelKey{id, level}]; ok && p != id {
+			return p, true
+		}
+	}
+	return "", false
 }
 
 // Events is a point-in-time snapshot of the tree's maintenance activity:
@@ -296,6 +333,7 @@ func (t *Tree) splitIfNeeded(id MemberID, level int) {
 		return
 	}
 	t.events.splits.Inc()
+	t.emit("split", id, level)
 	a, b := t.bisect(ch)
 	ca, cb := t.centerOf(a), t.centerOf(b)
 	delete(t.children, key)
@@ -428,6 +466,7 @@ func (t *Tree) Recenter() int {
 			}
 			t.replaceAt(leader, center, level)
 			t.events.recenters.Inc()
+			t.emit("recenter", leader, level)
 			changes++
 		}
 	}
@@ -490,6 +529,7 @@ func (t *Tree) normalize() {
 			}
 			sk := levelKey{sibling, level}
 			t.events.merges.Inc()
+			t.emit("merge", leader, level)
 			t.children[sk] = dedup(append(t.children[sk], ch...))
 			for _, c := range ch {
 				t.parent[levelKey{c, level - 1}] = sibling

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"sspd/internal/engine"
 	"sspd/internal/entity"
 	"sspd/internal/metrics"
+	"sspd/internal/obslog"
 	"sspd/internal/querygraph"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
@@ -41,6 +43,11 @@ type Options struct {
 	// aggregate interest upward on this period — soft state that
 	// re-converges ancestor filters after loss or tree repair.
 	InterestRefresh time.Duration
+	// Logger receives the federation's structured events (obslog). Nil
+	// builds a default logger: warnings and errors as slog text on
+	// stderr, every event recorded in a bounded journal served at
+	// GET /events.
+	Logger *obslog.Logger
 }
 
 func (o Options) normalized() Options {
@@ -95,7 +102,12 @@ type Federation struct {
 	// computed by a collector at scrape time, never on the hot path.
 	registry *metrics.Registry
 	// tracer is the per-tuple trace sampler (nil until EnableTracing).
-	tracer  *trace.Tracer
+	tracer *trace.Tracer
+	// logger is the structured event sink (never nil); its journal
+	// backs GET /events.
+	logger *obslog.Logger
+	// stats is the cluster stats plane (nil until EnableStatsPlane).
+	stats   *statsPlane
 	started bool
 	closed  bool
 }
@@ -106,6 +118,9 @@ type sourceNode struct {
 	rate   StreamRate
 	relay  *dissemination.Relay
 	tree   *dissemination.Tree
+	// published counts tuples injected at this source — the measured
+	// arrival rate the stats plane differentiates for the query graph.
+	published metrics.Counter
 }
 
 type entityNode struct {
@@ -155,7 +170,17 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 		results:    make(map[string]func(stream.Tuple)),
 		relayIndex: make(map[simnet.NodeID]*dissemination.Relay),
 		registry:   metrics.NewRegistry(),
+		logger:     opts.Logger,
 	}
+	if f.logger == nil {
+		f.logger = obslog.NewText(os.Stderr, obslog.LevelWarn, obslog.DefaultJournalCapacity)
+	}
+	// Structural tree operations the tree decides on its own become
+	// journal events; driven operations (join/leave/fail) are journaled
+	// at their call sites with richer context.
+	f.coord.SetEventSink(func(op string, leader coordinator.MemberID, level int) {
+		f.logger.Info("coordinator."+op, string(leader), "coordinator tree "+op, "level", level)
+	})
 	f.registry.RegisterCollector(f.collectMetrics)
 	// A fault-injecting transport exports its injection counters through
 	// the federation's registry.
@@ -170,12 +195,18 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 // relayOptions builds the dissemination options every relay in this
 // federation is constructed with.
 func (f *Federation) relayOptions() dissemination.RelayOptions {
-	opts := dissemination.RelayOptions{RefreshInterval: f.opts.InterestRefresh}
+	opts := dissemination.RelayOptions{RefreshInterval: f.opts.InterestRefresh, Log: f.logger}
 	if f.opts.ReliableControl {
 		opts.Reliable = &simnet.ReliableConfig{OnGiveUp: f.controlGiveUp}
 	}
 	return opts
 }
+
+// Logger returns the federation's structured event logger (never nil).
+func (f *Federation) Logger() *obslog.Logger { return f.logger }
+
+// Journal returns the bounded event flight recorder backing GET /events.
+func (f *Federation) Journal() *obslog.Journal { return f.logger.Journal() }
 
 // controlGiveUp is the reliable layer's give-up callback: a control
 // message to `to` exhausted its retries. The endpoint is mapped back to
@@ -195,8 +226,13 @@ func (f *Federation) controlGiveUp(to simnet.NodeID, kind string) {
 	mon := f.monitor
 	_, present := f.entities[id]
 	f.mu.Unlock()
+	f.logger.Info("control.giveup", id, "control delivery abandoned after retries",
+		"endpoint", to, "kind", kind)
 	if mon != nil && present {
-		mon.ReportFailure(hbID(id))
+		if mon.ReportFailure(hbID(id)) {
+			f.logger.Warn("detector.suspect", id, "entity suspected after control give-up",
+				"endpoint", to)
+		}
 	}
 }
 
@@ -270,6 +306,7 @@ func (f *Federation) AddEntity(id string, pos simnet.Point, nProcs int, factory 
 		relays: make(map[string]*dissemination.Relay),
 		hb:     hb,
 	}
+	f.logger.Info("entity.join", id, "entity added", "procs", nProcs)
 	return nil
 }
 
@@ -355,6 +392,7 @@ func (f *Federation) Publish(streamName string, batch stream.Batch) error {
 	if !ok || src.relay == nil {
 		return fmt.Errorf("core: no source for %q", streamName)
 	}
+	src.published.Add(int64(len(batch)))
 	if tracer != nil && tracer.SampleEvery() > 0 {
 		node := string(sourceID(streamName))
 		var out stream.Batch
@@ -496,6 +534,8 @@ func (f *Federation) MigrateQuery(id, toEntity string) error {
 	f.mu.Lock()
 	fq.entity = toEntity
 	f.mu.Unlock()
+	f.logger.Info("migration.move", toEntity, "query migrated",
+		"query", id, "from", fromID, "to", toEntity)
 	_ = f.ledger.Move(id, toEntity)
 	if err := f.refreshInterests(fromID, spec.Streams()); err != nil {
 		return err
@@ -622,6 +662,10 @@ func (f *Federation) Rebalance(r querygraph.Repartitioner) (int, error) {
 		}
 		moved++
 	}
+	if moved > 0 {
+		f.logger.Info("migration.decide", "", "rebalance migrated queries",
+			"moves", moved, "edge_cut", fmt.Sprintf("%.1f", g.EdgeCut(res.Assignment)))
+	}
 	return moved, nil
 }
 
@@ -676,6 +720,10 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 		_ = rw // the new member has no interest yet; refresh happens on placement
 	}
 	f.entities[id] = en
+	f.logger.Info("entity.join", id, "entity joined running federation", "procs", nProcs)
+	if f.stats != nil {
+		f.stats.addNode(id)
+	}
 	return nil
 }
 
@@ -725,6 +773,7 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 	}
 	pos := en.pos
 	f.mu.Unlock()
+	f.logger.Info("entity.leave", id, "entity leaving", "queries", len(hosted))
 
 	// Migrate each orphaned query to the entity the coordinator tree
 	// picks for the departing entity's locality.
@@ -753,6 +802,7 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 	delete(f.entities, id)
 	streams := f.streamNamesLocked()
 	var refresh []*dissemination.Relay
+	rewired := make(map[string]int, len(streams))
 	for _, s := range streams {
 		src := f.sources[s]
 		rid := relayID(id, s)
@@ -763,6 +813,7 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 			f.mu.Unlock()
 			return migrated, err
 		}
+		rewired[s] = len(rewires)
 		if relay != nil {
 			_ = relay.Close()
 		}
@@ -777,7 +828,15 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 			}
 		}
 	}
+	stats := f.stats
 	f.mu.Unlock()
+	for _, s := range streams {
+		f.logger.Info("tree.repair", id, "dissemination tree rewired around departed entity",
+			"stream", s, "rewires", rewired[s])
+	}
+	if stats != nil {
+		stats.removeNode(id)
+	}
 	for _, r := range refresh {
 		if err := r.Refresh(); err != nil {
 			return migrated, err
@@ -808,6 +867,7 @@ func (f *Federation) FailEntity(id string) (int, error) {
 	}
 	delete(f.entities, id)
 	_ = f.coord.Fail(coordinator.MemberID(id))
+	f.logger.Error("entity.fail", id, "entity expelled as failed")
 	// Collect the dead entity's queries; they leave the books entirely
 	// and re-enter through the normal placement path.
 	type orphan struct {
@@ -826,6 +886,7 @@ func (f *Federation) FailEntity(id string) (int, error) {
 	pos := en.pos
 	streams := f.streamNamesLocked()
 	var refresh []*dissemination.Relay
+	rewired := make(map[string]int, len(streams))
 	for _, s := range streams {
 		src := f.sources[s]
 		rid := relayID(id, s)
@@ -835,6 +896,7 @@ func (f *Federation) FailEntity(id string) (int, error) {
 			f.mu.Unlock()
 			return 0, err
 		}
+		rewired[s] = len(rewires)
 		if relay := en.relays[s]; relay != nil {
 			_ = relay.Close()
 		}
@@ -849,7 +911,15 @@ func (f *Federation) FailEntity(id string) (int, error) {
 			}
 		}
 	}
+	stats := f.stats
 	f.mu.Unlock()
+	for _, s := range streams {
+		f.logger.Warn("tree.repair", id, "dissemination tree rewired around failed entity",
+			"stream", s, "rewires", rewired[s])
+	}
+	if stats != nil {
+		stats.removeNode(id)
+	}
 
 	if en.hb != nil {
 		_ = en.hb.Close()
@@ -884,6 +954,8 @@ func (f *Federation) FailEntity(id string) (int, error) {
 		if err := f.placeOn(string(member), o.spec, o.onResult); err != nil {
 			return replaced, err
 		}
+		f.logger.Info("migration.place", string(member), "orphaned query re-placed",
+			"query", o.spec.ID, "failed", id)
 		replaced++
 	}
 	return replaced, nil
@@ -908,6 +980,7 @@ func (f *Federation) EnableFailureDetection(interval time.Duration, threshold in
 	mon, err := coordinator.NewDetector(f.transport, "portal/hb", interval, threshold,
 		func(peer simnet.NodeID) {
 			id := strings.TrimSuffix(string(peer), "/hb")
+			f.logger.Warn("detector.confirm", id, "failure confirmed, expelling entity")
 			go func() { _, _ = f.FailEntity(id) }()
 		})
 	if err != nil {
@@ -1186,7 +1259,12 @@ func (f *Federation) Close() {
 	sources := f.sources
 	tracer := f.tracer
 	f.tracer = nil
+	stats := f.stats
+	f.stats = nil
 	f.mu.Unlock()
+	if stats != nil {
+		stats.close()
+	}
 	if tracer != nil && trace.Active() == tracer {
 		trace.SetActive(nil)
 	}

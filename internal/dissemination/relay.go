@@ -3,13 +3,13 @@ package dissemination
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sspd/internal/metrics"
+	"sspd/internal/obslog"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
 	"sspd/internal/trace"
@@ -97,6 +97,10 @@ type Relay struct {
 	decodeBad  map[string]bool
 	decodeBadN atomic.Int32
 
+	// log receives the relay's typed events (link/decode transitions);
+	// never nil after construction.
+	log *obslog.Logger
+
 	// Delivered counts tuples handed to the local entity; Relayed
 	// counts tuples forwarded downstream; Suppressed counts tuples
 	// early filtering kept off a child link.
@@ -136,6 +140,10 @@ type RelayOptions struct {
 	// callback with one call per batch of locally matched tuples. The
 	// tuples are owned by the receiver; the slice is not.
 	DeliverBatch func(stream.Batch)
+	// Log receives the relay's typed events (link.down / link.up /
+	// decode.bad / decode.ok, once per transition). Nil uses
+	// obslog.Default().
+	Log *obslog.Logger
 }
 
 // NewRelay attaches a relay for `self` to the transport. deliver may be
@@ -175,6 +183,10 @@ func NewRelayWith(tree *Tree, self simnet.NodeID, schema *stream.Schema,
 		linkDown:      make(map[simnet.NodeID]bool),
 		decodeErrs:    make(map[string]int64),
 		decodeBad:     make(map[string]bool),
+		log:           opts.Log,
+	}
+	if r.log == nil {
+		r.log = obslog.Default()
 	}
 	r.localC = stream.CompileSet(r.local, schema)
 	if opts.Reliable != nil {
@@ -329,7 +341,8 @@ func (r *Relay) noteSendError(link simnet.NodeID, err error) {
 	}
 	r.errMu.Unlock()
 	if first {
-		log.Printf("dissemination: %s: send to %s failing: %v (logging once until recovery)", r.self, link, err)
+		r.log.Warn("link.down", string(r.self), "send failing (logging once until recovery)",
+			"link", link, "err", err)
 	}
 }
 
@@ -342,7 +355,7 @@ func (r *Relay) noteSendOK(link simnet.NodeID) {
 	}
 	r.errMu.Unlock()
 	if recovered {
-		log.Printf("dissemination: %s: send to %s recovered", r.self, link)
+		r.log.Warn("link.up", string(r.self), "send recovered", "link", link)
 	}
 }
 
@@ -692,7 +705,8 @@ func (r *Relay) noteDecodeError(kind string, err error) {
 	}
 	r.errMu.Unlock()
 	if first {
-		log.Printf("dissemination: %s: dropping corrupt %s payloads: %v (logging once until recovery)", r.self, kind, err)
+		r.log.Warn("decode.bad", string(r.self), "dropping corrupt payloads (logging once until recovery)",
+			"kind", kind, "err", err)
 	}
 }
 
@@ -710,7 +724,7 @@ func (r *Relay) noteDecodeOK(kind string) {
 	}
 	r.errMu.Unlock()
 	if recovered {
-		log.Printf("dissemination: %s: %s payloads decoding again", r.self, kind)
+		r.log.Warn("decode.ok", string(r.self), "payloads decoding again", "kind", kind)
 	}
 }
 

@@ -442,6 +442,41 @@ func (e *Entity) QueryPerf(id string) (d, p float64, ok bool) {
 	return d, p, ok
 }
 
+// QueryWork reports a placed query's cumulative measured work: total
+// engine busy time in seconds and result tuples emitted, summed over its
+// fragments. The stats plane differentiates successive readings into a
+// measured load (busy seconds per second) for the cluster digest. ok is
+// false when the query is unknown or its engines expose no metrics
+// (e.g. MiniEngine) — callers then fall back to the spec's estimate.
+func (e *Entity) QueryWork(id string) (busySeconds float64, results int64, ok bool) {
+	e.mu.Lock()
+	pq, found := e.queries[id]
+	if !found {
+		e.mu.Unlock()
+		return 0, 0, false
+	}
+	frags := pq.frags
+	procs := make([]*procNode, len(pq.frags))
+	for i := range pq.frags {
+		procs[i] = e.procs[pq.procs[i]]
+	}
+	e.mu.Unlock()
+	for i, frag := range frags {
+		rep, isRep := procs[i].eng.(engine.MetricsReporter)
+		if !isRep {
+			return 0, 0, false
+		}
+		m, has := rep.Metrics(frag.ID)
+		if !has {
+			return 0, 0, false
+		}
+		busySeconds += m.Processing.Sum
+		results += m.Results
+		ok = true
+	}
+	return busySeconds, results, ok
+}
+
 // Interest derives the entity's aggregated data interest in one stream:
 // the union of its placed queries' interests — what the entity registers
 // up the dissemination tree.

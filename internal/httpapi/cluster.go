@@ -1,0 +1,156 @@
+package httpapi
+
+// Cluster-wide observability endpoints (DESIGN.md §9). These read the
+// stats federation's root digest and the structured event journal:
+//
+//	GET /cluster          live ops view (HTML)
+//	GET /cluster/metrics  merged cluster digest, Prometheus text format
+//	GET /cluster/health   per-entity health derived from digest freshness
+//	GET /events           structured event journal, ?since=<seq>&kind=<k>
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sspd/internal/obslog"
+)
+
+// clusterMetrics serves the root digest as sspd_cluster_* families.
+func (s *Server) clusterMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := s.fed.ClusterRegistry()
+	if reg == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: stats plane not enabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WritePrometheus(w)
+}
+
+// clusterHealth returns the merged digest joined against live
+// membership: who is up, whose row is fresh, and the row detail the ops
+// view renders (loads, query counts, PR_max sparklines).
+func (s *Server) clusterHealth(w http.ResponseWriter, _ *http.Request) {
+	if !s.fed.StatsEnabled() {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: stats plane not enabled"))
+		return
+	}
+	rows, root, _ := s.fed.ClusterStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"root":     root,
+		"entities": s.fed.ClusterHealth(),
+		"rows":     rows,
+	})
+}
+
+// events serves the flight recorder. since is an exclusive sequence
+// cursor (0 = from the beginning); kind filters by exact kind or
+// dot-boundary prefix ("detector" matches detector.suspect).
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j := s.fed.Journal()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no event journal"))
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad since %q: must be a non-negative integer", q))
+			return
+		}
+		since = v
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind != "" && !obslog.ValidKind(kind) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad kind %q: want dot-separated [a-z0-9_-] segments", kind))
+		return
+	}
+	events := j.Since(since, kind)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"last_seq": j.LastSeq(),
+		"dropped":  j.Dropped(),
+		"events":   events,
+	})
+}
+
+// clusterPage is the live ops view: an entity table with health and
+// PR_max sparklines plus the recent event tail, polled from
+// /cluster/health and /events by a little inline script.
+func (s *Server) clusterPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(clusterPageHTML))
+}
+
+const clusterPageHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>sspd cluster</title>
+<style>
+  body { font-family: ui-monospace, monospace; margin: 1.5rem; background: #111; color: #ddd; }
+  h1 { font-size: 1.1rem; } h2 { font-size: 0.95rem; margin-top: 1.5rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 0.25rem 0.75rem; border-bottom: 1px solid #333; font-size: 0.85rem; }
+  th { color: #888; font-weight: normal; }
+  .ok { color: #6c6; } .bad { color: #e66; }
+  svg { vertical-align: middle; }
+  #events div { padding: 0.1rem 0; font-size: 0.8rem; border-bottom: 1px solid #222; }
+  .kind { color: #8bf; } .seq { color: #666; }
+  #meta { color: #888; font-size: 0.8rem; }
+</style>
+</head>
+<body>
+<h1>sspd cluster</h1>
+<div id="meta">loading…</div>
+<table>
+  <thead><tr><th>entity</th><th>health</th><th>load</th><th>queries</th><th>PR_max</th><th>PR_max trend</th><th>age</th></tr></thead>
+  <tbody id="entities"></tbody>
+</table>
+<h2>recent events</h2>
+<div id="events"></div>
+<script>
+function spark(vals) {
+  if (!vals || !vals.length) return '';
+  const w = 96, h = 18, max = Math.max(...vals, 1e-9);
+  const pts = vals.map((v, i) =>
+    (i * w / Math.max(vals.length - 1, 1)).toFixed(1) + ',' +
+    (h - 2 - (v / max) * (h - 4)).toFixed(1)).join(' ');
+  return '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts +
+    '" fill="none" stroke="#8bf" stroke-width="1.2"/></svg>';
+}
+function esc(s) { return String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c])); }
+async function refresh() {
+  try {
+    const hr = await fetch('cluster/health');
+    if (!hr.ok) { document.getElementById('meta').textContent = 'stats plane not enabled'; return; }
+    const h = await hr.json();
+    document.getElementById('meta').textContent =
+      'digest root: ' + h.root + ' · entities: ' + h.entities.length;
+    document.getElementById('entities').innerHTML = h.entities.map(e => {
+      const row = (h.rows || {})[e.entity] || {};
+      return '<tr><td>' + esc(e.entity) + '</td>' +
+        '<td class="' + (e.healthy ? 'ok">healthy' : 'bad">' + (e.up ? 'stale' : 'down')) + '</td>' +
+        '<td>' + e.load.toFixed(2) + '</td><td>' + e.queries + '</td>' +
+        '<td>' + e.pr_max.toFixed(3) + '</td><td>' + spark(row.pr_spark) + '</td>' +
+        '<td>' + (e.age_seconds < 0 ? '—' : e.age_seconds.toFixed(1) + 's') + '</td></tr>';
+    }).join('');
+    const er = await fetch('events');
+    if (er.ok) {
+      const ev = await er.json();
+      document.getElementById('events').innerHTML = (ev.events || []).slice(-40).reverse().map(e =>
+        '<div><span class="seq">#' + e.seq + '</span> <span class="kind">' + esc(e.kind) +
+        '</span> ' + esc(e.node) + ' — ' + esc(e.msg) + '</div>').join('');
+    }
+  } catch (err) {
+    document.getElementById('meta').textContent = 'portal unreachable: ' + err;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -16,6 +16,10 @@
 //	GET    /metrics           Prometheus text exposition (federation registry)
 //	GET    /traces            recent trace spans (tracing must be enabled)
 //	GET    /traces/{id}       one span's hop-by-hop journey
+//	GET    /cluster           live ops view (HTML)
+//	GET    /cluster/metrics   merged cluster digest (stats plane must be enabled)
+//	GET    /cluster/health    per-entity health from digest freshness
+//	GET    /events            structured event journal (?since=&kind=)
 //	GET    /debug/pprof/      Go runtime profiling
 package httpapi
 
@@ -154,6 +158,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /traces", s.listTraces)
 	mux.HandleFunc("GET /traces/{id}", s.getTrace)
+	mux.HandleFunc("GET /cluster", s.clusterPage)
+	mux.HandleFunc("GET /cluster/metrics", s.clusterMetrics)
+	mux.HandleFunc("GET /cluster/health", s.clusterHealth)
+	mux.HandleFunc("GET /events", s.events)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -178,9 +186,12 @@ func (s *Server) listTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	n := 32
 	if q := r.URL.Query().Get("n"); q != "" {
-		if v, err := strconv.Atoi(q); err == nil && v > 0 {
-			n = v
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad n %q: must be a positive integer", q))
+			return
 		}
+		n = v
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sample_every": tr.SampleEvery(),

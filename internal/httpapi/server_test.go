@@ -45,6 +45,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *core.Federation, *simnet.Si
 	if err := fed.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// Manual-tick stats plane: cluster endpoints work, no background
+	// goroutines to leak into unrelated tests.
+	if err := fed.EnableStatsPlane(0); err != nil {
+		t.Fatal(err)
+	}
 	srv, err := New(fed, simnet.Point{X: 25})
 	if err != nil {
 		t.Fatal(err)

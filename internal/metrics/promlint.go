@@ -1,0 +1,302 @@
+package metrics
+
+// Strict Prometheus text-format (0.0.4) parser. It exists for tests:
+// scraping /metrics and /cluster/metrics through it asserts the
+// exposition is well-formed — every sample belongs to a declared
+// family, no family is declared twice, label keys are sorted (with
+// quantile/le allowed only as a trailing label), and no series repeats.
+// It deliberately rejects a few things real scrapers tolerate
+// (samples before their TYPE line, duplicate HELP), because the
+// registry never needs them and drift here means a writer bug.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string  // full sample name, e.g. sspd_delay_seconds_sum
+	Labels []Label // in file order
+	Value  float64
+	Line   int
+}
+
+// PromFamily is one declared metric family and its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, summary, histogram, untyped
+	Samples []PromSample
+}
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validPromName(s)
+}
+
+// sampleFamily maps a sample name to the family it must belong to,
+// honouring the summary/histogram suffix conventions.
+func sampleFamily(name, famName, famType string) bool {
+	if name == famName {
+		return true
+	}
+	if famType == "summary" || famType == "histogram" {
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if famType == "histogram" {
+			base = strings.TrimSuffix(base, "_bucket")
+		}
+		return base == famName && base != name
+	}
+	return false
+}
+
+// ParsePrometheus strictly parses a text-format exposition. Any
+// violation returns an error naming the offending line.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	var fams []PromFamily
+	byName := make(map[string]int) // family name -> index in fams
+	seen := make(map[string]int)   // sample name+labels -> line
+	var cur *PromFamily
+	pendingHelp := ""
+	pendingHelpFor := ""
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: bad HELP metric name %q", lineNo, name)
+			}
+			if pendingHelpFor != "" {
+				return nil, fmt.Errorf("line %d: HELP for %s not followed by its TYPE", lineNo, pendingHelpFor)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for family %s", lineNo, name)
+			}
+			pendingHelp, pendingHelpFor = help, name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: bad TYPE metric name %q", lineNo, name)
+			}
+			if !promTypes[typ] {
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			if pendingHelpFor != "" && pendingHelpFor != name {
+				return nil, fmt.Errorf("line %d: HELP for %s followed by TYPE for %s", lineNo, pendingHelpFor, name)
+			}
+			fams = append(fams, PromFamily{Name: name, Help: pendingHelp, Type: typ})
+			byName[name] = len(fams) - 1
+			cur = &fams[len(fams)-1]
+			pendingHelp, pendingHelpFor = "", ""
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal and ignored.
+		default:
+			if pendingHelpFor != "" {
+				return nil, fmt.Errorf("line %d: HELP for %s not followed by its TYPE", lineNo, pendingHelpFor)
+			}
+			s, err := parseSampleLine(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil || !sampleFamily(s.Name, cur.Name, cur.Type) {
+				return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", lineNo, s.Name)
+			}
+			if err := checkLabels(s, cur.Type, lineNo); err != nil {
+				return nil, err
+			}
+			sig := s.Name + labelSig(s.Labels)
+			if prev, dup := seen[sig]; dup {
+				return nil, fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineNo, sig, prev)
+			}
+			seen[sig] = lineNo
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingHelpFor != "" {
+		return nil, fmt.Errorf("HELP for %s not followed by its TYPE", pendingHelpFor)
+	}
+	return fams, nil
+}
+
+// checkLabels enforces the registry's stable-ordering contract: label
+// keys strictly ascending, except quantile (summaries) and le
+// (histograms), which must come last.
+func checkLabels(s PromSample, famType string, lineNo int) error {
+	labels := s.Labels
+	if n := len(labels); n > 0 {
+		last := labels[n-1].Key
+		if last == "quantile" || last == "le" {
+			if (last == "quantile" && famType != "summary") ||
+				(last == "le" && famType != "histogram") {
+				return fmt.Errorf("line %d: label %q on a %s sample", lineNo, last, famType)
+			}
+			labels = labels[:n-1]
+		}
+	}
+	for i, l := range labels {
+		if l.Key == "quantile" || l.Key == "le" {
+			return fmt.Errorf("line %d: reserved label %q not in last position", lineNo, l.Key)
+		}
+		if i > 0 && labels[i-1].Key >= l.Key {
+			return fmt.Errorf("line %d: label keys not strictly ascending: %q after %q",
+				lineNo, l.Key, labels[i-1].Key)
+		}
+	}
+	return nil
+}
+
+func labelSig(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func parseSampleLine(line string, lineNo int) (PromSample, error) {
+	s := PromSample{Line: lineNo}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+	}
+	s.Name = rest[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("line %d: bad sample name %q", lineNo, s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest, lineNo)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Strict: exactly one space, then the value, no trailing timestamp
+	// (the registry never writes one).
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("line %d: malformed value in %q", lineNo, line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad value %q: %v", lineNo, rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at text[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(text string, lineNo int) (int, []Label, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(text) {
+			return 0, nil, fmt.Errorf("line %d: unterminated label block", lineNo)
+		}
+		if text[i] == '}' {
+			if len(labels) == 0 {
+				return 0, nil, fmt.Errorf("line %d: empty label block", lineNo)
+			}
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("line %d: label without '='", lineNo)
+		}
+		key := text[i : i+eq]
+		if !validLabelName(key) {
+			return 0, nil, fmt.Errorf("line %d: bad label name %q", lineNo, key)
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("line %d: label %q value not quoted", lineNo, key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("line %d: unterminated label value for %q", lineNo, key)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("line %d: dangling escape in label %q", lineNo, key)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("line %d: bad escape \\%c in label %q", lineNo, text[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		if i < len(text) && text[i] == ',' {
+			i++
+		} else if i >= len(text) || text[i] != '}' {
+			return 0, nil, fmt.Errorf("line %d: expected ',' or '}' after label %q", lineNo, key)
+		}
+	}
+}

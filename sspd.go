@@ -3,10 +3,12 @@ package sspd
 import (
 	"time"
 
+	"sspd/internal/coordinator"
 	"sspd/internal/core"
 	"sspd/internal/dissemination"
 	"sspd/internal/engine"
 	"sspd/internal/entity"
+	"sspd/internal/obslog"
 	"sspd/internal/operator"
 	"sspd/internal/querygraph"
 	"sspd/internal/simnet"
@@ -207,3 +209,28 @@ var (
 	// PartitionQueriesMultilevel is the METIS-style multilevel variant.
 	PartitionQueriesMultilevel = querygraph.PartitionMultilevel
 )
+
+// Observability surface: the structured event journal and the cluster
+// stats federation behind \cluster and GET /cluster/* (DESIGN.md §9).
+type (
+	// ObsEvent is one structured journal event.
+	ObsEvent = obslog.Event
+	// ObsJournal is the bounded flight recorder served at GET /events.
+	ObsJournal = obslog.Journal
+	// ObsLogger is the leveled structured logger that feeds the journal.
+	ObsLogger = obslog.Logger
+	// EntityHealth is one row of the cluster health view.
+	EntityHealth = core.EntityHealth
+	// ClusterEntityStats is one entity's row in the federated digest.
+	ClusterEntityStats = coordinator.EntityStats
+)
+
+// EventKindMatches reports whether an event kind matches a filter:
+// empty matches everything, otherwise exact or dot-boundary prefix
+// ("detector" matches "detector.suspect" but not "detectors.x").
+var EventKindMatches = obslog.KindMatches
+
+// NewObsLogger builds a logger that journals every event and prints
+// those at or above min as slog text lines to w. Pass it via
+// Options.Logger to control a federation's event output.
+var NewObsLogger = obslog.NewText
