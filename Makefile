@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench
+.PHONY: check vet staticcheck build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench
 
-check: vet staticcheck build chaos bench-tuplepath bench-statsplane
+check: vet staticcheck build chaos bench-tuplepath bench-statsplane bench-migration
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,12 @@ bench-tuplepath:
 # if enabling the plane costs the tuple path more than 1%.
 bench-statsplane:
 	$(GO) run ./cmd/sspd-bench -statsplane BENCH_observability.json
+
+# Regenerates BENCH_migration.json: a windowed aggregate live-migrated
+# around the cluster mid-stream on a jittery transport. Fails on any
+# lost or duplicated tuple, or a handoff pause over the 250ms budget.
+bench-migration:
+	$(GO) run ./cmd/sspd-bench -migration BENCH_migration.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

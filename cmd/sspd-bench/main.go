@@ -41,6 +41,7 @@ func main() {
 	statsplane := flag.String("statsplane", "", "run the stats-plane overhead bench and append its results into this JSON report (typically BENCH_observability.json)")
 	chaos := flag.String("chaos", "", "run the chaos/recovery bench with this fault spec, e.g. drop=0.05,dup=0.02,partition=500ms,crash=1,seed=7")
 	chaosOut := flag.String("chaos-out", "BENCH_robustness.json", "output path for the chaos bench JSON report")
+	migration := flag.String("migration", "", "run the live-migration bench and write its JSON report to this file (non-zero exit on tuple loss or pause over budget)")
 	flag.Parse()
 	if *list {
 		for _, id := range order {
@@ -71,6 +72,13 @@ func main() {
 	}
 	if *chaos != "" {
 		if err := runChaosBench(*chaos, *chaosOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *migration != "" {
+		if err := runMigrationBench(*migration); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

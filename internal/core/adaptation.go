@@ -1,0 +1,156 @@
+// The adaptation controller: the background loop that closes the
+// paper's adaptive-repartitioning cycle (Section 3.2.2). Each period it
+// feeds the *measured* query graph (stats-plane rates and loads) into
+// the Hybrid repartitioner, weighs every proposed move against the cost
+// of actually performing it — serialized operator state plus the tuples
+// that would need replaying — and executes only the moves whose gain
+// clears the hysteresis threshold, through live migration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sspd/internal/querygraph"
+)
+
+// adaptAmortization is the window over which a migration's one-time
+// byte cost is amortized to compare against a continuous gain rate: a
+// move must pay for itself within this horizon.
+const adaptAmortization = 30 * time.Second
+
+// adaptPauseEstimate approximates the handoff pause when estimating how
+// many in-flight bytes a migration will buffer and replay.
+const adaptPauseEstimate = 200 * time.Millisecond
+
+// StartAdaptation launches the adaptation controller with the
+// configured (or default) interval. Options.EnableAdaptation does this
+// automatically at Start.
+func (f *Federation) StartAdaptation() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.started {
+		return fmt.Errorf("core: federation not started")
+	}
+	return f.startAdaptationLocked(f.opts.AdaptationInterval)
+}
+
+func (f *Federation) startAdaptationLocked(interval time.Duration) error {
+	if f.adaptStop != nil {
+		return fmt.Errorf("core: adaptation already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.adaptStop = stop
+	f.adaptDone = done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = f.AdaptOnce()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// StopAdaptation halts the controller loop (idempotent).
+func (f *Federation) StopAdaptation() {
+	f.mu.Lock()
+	stop, done := f.adaptStop, f.adaptDone
+	f.adaptStop = nil
+	f.adaptDone = nil
+	f.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// AdaptationMoves reports the total queries moved by the controller.
+func (f *Federation) AdaptationMoves() int64 { return f.adaptMoves.Value() }
+
+// AdaptOnce runs one controller decision round synchronously (the loop
+// calls it on every tick; tests call it directly for determinism). It
+// returns how many queries were migrated.
+func (f *Federation) AdaptOnce() (int, error) {
+	g := f.MeasuredQueryGraph(0)
+	old, ids := f.Assignment()
+	if len(ids) < 2 || g.NumVertices() == 0 {
+		return 0, nil
+	}
+	res, err := querygraph.HybridRepartitioner{}.Repartition(g, old,
+		querygraph.Options{K: len(ids), Epsilon: f.opts.PartitionEpsilon})
+	if err != nil {
+		return 0, err
+	}
+
+	planned, moved, skipped := 0, 0, 0
+	cur := old.Clone()
+	for _, v := range g.Vertices() {
+		to, ok := res.Assignment[v]
+		if !ok || to == cur[v] {
+			continue
+		}
+		planned++
+		// Gain rate: edge-cut reduction (bytes/sec kept local) plus
+		// hottest-entity relief, both evaluated against the *evolving*
+		// assignment so sequential moves don't double-count.
+		gain := querygraph.MoveGain(g, cur, v, to) +
+			querygraph.BalanceGain(g, cur, v, to, len(ids))
+		cost := f.migrationCostRate(string(v), ids[cur[v]])
+		if gain <= f.opts.AdaptationHysteresis*cost {
+			skipped++
+			continue
+		}
+		if err := f.MigrateQuery(string(v), ids[to]); err != nil {
+			skipped++
+			continue
+		}
+		cur[v] = to
+		moved++
+		f.adaptMoves.Inc()
+	}
+	if planned > 0 {
+		f.logger.Info("migration.plan", "", "adaptation round",
+			"planned", fmt.Sprint(planned), "moved", fmt.Sprint(moved),
+			"skipped", fmt.Sprint(skipped),
+			"cut", fmt.Sprintf("%.1f", g.EdgeCut(cur)))
+	}
+	return moved, nil
+}
+
+// migrationCostRate estimates what moving a query costs, expressed as a
+// byte rate commensurable with the repartitioner's edge weights: the
+// serialized operator state plus the bytes expected to buffer during
+// the handoff pause, amortized over the adaptation horizon.
+func (f *Federation) migrationCostRate(id, entityID string) float64 {
+	f.mu.Lock()
+	en := f.entities[entityID]
+	fq := f.queries[id]
+	var rates map[string]StreamRate
+	if fq != nil {
+		rates = make(map[string]StreamRate)
+		for _, s := range fq.spec.Streams() {
+			rates[s] = f.rates[s]
+		}
+	}
+	f.mu.Unlock()
+	if en == nil || fq == nil {
+		return 0
+	}
+	stateBytes := 0
+	if n, ok := en.ent.QueryStateBytes(id); ok {
+		stateBytes = n
+	}
+	replayBytes := 0.0
+	for _, r := range rates {
+		replayBytes += r.BytesPerSec() * adaptPauseEstimate.Seconds()
+	}
+	return (float64(stateBytes) + replayBytes) / adaptAmortization.Seconds()
+}

@@ -48,6 +48,19 @@ type Options struct {
 	// stderr, every event recorded in a bounded journal served at
 	// GET /events.
 	Logger *obslog.Logger
+	// EnableAdaptation starts the background adaptation controller at
+	// Start: it periodically feeds the measured query graph into the
+	// Hybrid repartitioner and executes the moves that clear the
+	// migration-cost hysteresis check through live migration
+	// (DESIGN.md §10).
+	EnableAdaptation bool
+	// AdaptationInterval is the controller's decision period (default
+	// 2s when adaptation is enabled).
+	AdaptationInterval time.Duration
+	// AdaptationHysteresis scales the migration-cost threshold a move's
+	// gain must exceed before it is executed (default 1; higher values
+	// move less).
+	AdaptationHysteresis float64
 }
 
 func (o Options) normalized() Options {
@@ -62,6 +75,12 @@ func (o Options) normalized() Options {
 	}
 	if o.FragmentsPerQuery <= 0 {
 		o.FragmentsPerQuery = 1
+	}
+	if o.AdaptationInterval <= 0 {
+		o.AdaptationInterval = 2 * time.Second
+	}
+	if o.AdaptationHysteresis <= 0 {
+		o.AdaptationHysteresis = 1
 	}
 	return o
 }
@@ -93,6 +112,17 @@ type Federation struct {
 	rebalanceStop  chan struct{}
 	rebalanceDone  chan struct{}
 	rebalanceMoves metrics.Counter
+	// adaptStop/Done manage the adaptation-controller loop; the
+	// migration counters and history ring back sspd_migrations_total
+	// and the /cluster migration table.
+	adaptStop     chan struct{}
+	adaptDone     chan struct{}
+	adaptMoves    metrics.Counter
+	migCommits    metrics.Counter
+	migRollbacks  metrics.Counter
+	migStateBytes metrics.Counter
+	migReplayed   metrics.Counter
+	migLog        []MigrationRecord
 	// controlGiveUps counts control-plane deliveries abandoned after
 	// exhausting their retries (each one is also reported to the failure
 	// detector when monitoring is enabled).
@@ -140,6 +170,9 @@ func hbID(entityID string) simnet.NodeID {
 type fedQuery struct {
 	spec   engine.QuerySpec
 	entity string
+	// migrating guards the query against concurrent migration or
+	// removal while a live migration is in flight.
+	migrating bool
 }
 
 // relayID names an entity's per-stream dissemination endpoint.
@@ -374,6 +407,9 @@ func (f *Federation) Start() error {
 		}
 	}
 	f.started = true
+	if f.opts.EnableAdaptation {
+		f.startAdaptationLocked(f.opts.AdaptationInterval)
+	}
 	return nil
 }
 
@@ -479,11 +515,16 @@ func (f *Federation) placeOn(entityID string, spec engine.QuerySpec, onResult fu
 		f.results[spec.ID] = onResult
 	}
 	f.mu.Unlock()
-	_ = f.ledger.Start(spec.ID, entityID)
+	if err := f.ledger.Start(spec.ID, entityID); err != nil {
+		f.logger.Warn("ledger.error", entityID, "ledger start failed",
+			"query", spec.ID, "err", err.Error())
+	}
 	return f.refreshInterests(entityID, spec.Streams())
 }
 
-// RemoveQuery withdraws a query from the federation.
+// RemoveQuery withdraws a query from the federation. The federation's
+// books are updated only after the entity-level removal succeeds, so
+// the two can never disagree about the query's existence.
 func (f *Federation) RemoveQuery(id string) error {
 	f.mu.Lock()
 	fq, ok := f.queries[id]
@@ -491,56 +532,24 @@ func (f *Federation) RemoveQuery(id string) error {
 		f.mu.Unlock()
 		return fmt.Errorf("core: unknown query %s", id)
 	}
-	delete(f.queries, id)
-	delete(f.results, id)
+	if fq.migrating {
+		f.mu.Unlock()
+		return fmt.Errorf("core: query %s is migrating", id)
+	}
 	en := f.entities[fq.entity]
 	f.mu.Unlock()
 	if _, err := en.ent.RemoveQuery(id); err != nil {
 		return err
 	}
-	_ = f.ledger.Stop(id)
+	f.mu.Lock()
+	delete(f.queries, id)
+	delete(f.results, id)
+	f.mu.Unlock()
+	if err := f.ledger.Stop(id); err != nil {
+		f.logger.Warn("ledger.error", fq.entity, "ledger stop failed",
+			"query", id, "err", err.Error())
+	}
 	return f.refreshInterests(fq.entity, fq.spec.Streams())
-}
-
-// MigrateQuery moves a query to another entity at the query level — the
-// only migration granularity the loosely-coupled layer permits.
-func (f *Federation) MigrateQuery(id, toEntity string) error {
-	f.mu.Lock()
-	fq, ok := f.queries[id]
-	if !ok {
-		f.mu.Unlock()
-		return fmt.Errorf("core: unknown query %s", id)
-	}
-	if fq.entity == toEntity {
-		f.mu.Unlock()
-		return nil
-	}
-	from := f.entities[fq.entity]
-	to, ok := f.entities[toEntity]
-	if !ok {
-		f.mu.Unlock()
-		return fmt.Errorf("core: unknown entity %q", toEntity)
-	}
-	f.mu.Unlock()
-
-	spec, err := from.ent.RemoveQuery(id)
-	if err != nil {
-		return err
-	}
-	if err := to.ent.PlaceQuery(spec, f.opts.FragmentsPerQuery); err != nil {
-		return err
-	}
-	fromID := fq.entity
-	f.mu.Lock()
-	fq.entity = toEntity
-	f.mu.Unlock()
-	f.logger.Info("migration.move", toEntity, "query migrated",
-		"query", id, "from", fromID, "to", toEntity)
-	_ = f.ledger.Move(id, toEntity)
-	if err := f.refreshInterests(fromID, spec.Streams()); err != nil {
-		return err
-	}
-	return f.refreshInterests(toEntity, spec.Streams())
 }
 
 // refreshInterests pushes an entity's current aggregated interest for
@@ -1248,6 +1257,7 @@ func (f *Federation) DisseminationTree(streamName string) *dissemination.Tree {
 
 // Close shuts everything down.
 func (f *Federation) Close() {
+	f.StopAdaptation()
 	f.StopAutoRebalance()
 	f.mu.Lock()
 	if f.closed {

@@ -241,6 +241,17 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 	counter("sspd_rebalance_moves_total", "Queries migrated by the auto-rebalance loop.",
 		float64(f.rebalanceMoves.Value()))
 
+	counter("sspd_migrations_total", "Live migrations by outcome.",
+		float64(f.migCommits.Value()), metrics.L("outcome", "commit"))
+	counter("sspd_migrations_total", "Live migrations by outcome.",
+		float64(f.migRollbacks.Value()), metrics.L("outcome", "rollback"))
+	counter("sspd_migration_state_bytes_total", "Serialized operator-state bytes transferred by live migrations.",
+		float64(f.migStateBytes.Value()))
+	counter("sspd_migration_replayed_total", "Buffered tuples replayed at migration destinations.",
+		float64(f.migReplayed.Value()))
+	counter("sspd_adaptation_moves_total", "Queries migrated by the adaptation controller.",
+		float64(f.adaptMoves.Value()))
+
 	links := make([]string, 0, len(sendErrs))
 	for l := range sendErrs {
 		links = append(links, l)

@@ -134,6 +134,9 @@ type feedItem struct {
 	// adaptGain > 0 marks a control item: instead of feeding a tuple,
 	// the query goroutine re-evaluates its operator ordering.
 	adaptGain float64
+	// ctl, when set, marks a synchronous state control item
+	// (snapshot/restore/size); see state.go.
+	ctl *stateCtl
 }
 
 // queueDepth bounds each query's input queue. Overflow drops tuples (and
@@ -190,6 +193,20 @@ func (e *Engine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
 func (rq *runningQuery) run() {
 	defer close(rq.done)
 	for item := range rq.in {
+		if item.ctl != nil {
+			c := item.ctl
+			switch c.op {
+			case ctlSnapshot:
+				c.snap = snapshotQuery(rq.q)
+			case ctlRestore:
+				c.err = restoreQuery(rq.q, c.restore)
+			case ctlBytes:
+				c.bytes = queryStateBytes(rq.q)
+			}
+			close(c.done)
+			rq.pending.Add(-1)
+			continue
+		}
 		if item.adaptGain > 0 {
 			maybeReorder(rq.q, item.adaptGain)
 			rq.pending.Add(-1)

@@ -71,12 +71,18 @@ type procNode struct {
 type fanoutTarget struct {
 	frag string
 	node simnet.NodeID
+	// gate intercepts delivery while the owning query is paused for
+	// live migration (see migration.go).
+	gate *ingestGate
 }
 
 type placedQuery struct {
 	spec  engine.QuerySpec
 	frags []engine.QuerySpec
 	procs []int // processor index per fragment
+	// gate buffers head-fragment input while the query is paused
+	// (live migration, DESIGN.md §10).
+	gate *ingestGate
 }
 
 // New creates an entity with nProcs processors, each running an engine
@@ -257,6 +263,13 @@ func (e *Entity) IngestBatch(b stream.Batch) {
 // transport messages; the final fragment's results reach the entity's
 // result handler.
 func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
+	return e.place(spec, nFrags, false)
+}
+
+// place is PlaceQuery with control over the query's initial gate state:
+// paused placements buffer head-fragment input until CommitQuery or
+// ResumeQuery opens the gate — the destination half of live migration.
+func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -287,7 +300,7 @@ func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
 		procIdx[i] = order[i%len(order)]
 	}
 
-	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx}
+	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx, gate: &ingestGate{paused: paused}}
 	queryID := spec.ID
 	registered := make([]int, 0, len(frags))
 	for i := len(frags) - 1; i >= 0; i-- {
@@ -335,7 +348,7 @@ func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
 		di := e.delegationLocked(s)
 		dp := e.procs[di]
 		dp.mu.Lock()
-		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.ID, node: headProc.id})
+		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.ID, node: headProc.id, gate: pq.gate})
 		dp.mu.Unlock()
 	}
 	e.queries[spec.ID] = pq
@@ -651,6 +664,9 @@ func (p *procNode) ingest(b stream.Batch) {
 	p.mu.Unlock()
 	bf, batchFeed := p.feeder.(engine.BatchFeeder)
 	for _, tgt := range targets {
+		if tgt.gate != nil && tgt.gate.intercept(b) {
+			continue
+		}
 		if tgt.node == p.id {
 			for _, t := range b {
 				trace.Record(trace.SpanID(t.Span), trace.StageOperator, tgt.frag)

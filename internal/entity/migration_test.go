@@ -1,0 +1,179 @@
+package entity
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+)
+
+func aggQuerySpec(id string, window int) engine.QuerySpec {
+	return engine.QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Agg: &engine.AggSpec{Fn: 0 /* AggCount */, ValueField: "price",
+			GroupField: "", Window: stream.CountWindow(window)},
+	}
+}
+
+func TestPauseBuffersAndResumeReplays(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	if err := e.PlaceQuery(aggQuerySpec("q1", 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		e.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 10 {
+		t.Fatalf("pre-pause results = %d, want 10", got)
+	}
+	if err := e.PauseQuery("q1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(10); i < 25; i++ {
+		e.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 10 {
+		t.Fatalf("paused query still produced: %d results", got)
+	}
+	n, err := e.ResumeQuery("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("replayed %d, want 15", n)
+	}
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 25 {
+		t.Fatalf("post-resume results = %d, want 25", got)
+	}
+	if err := e.PauseQuery("nope"); err == nil {
+		t.Error("pause of unknown query accepted")
+	}
+}
+
+func TestMigrationAcrossEntities(t *testing.T) {
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	mk := func(id string) (*Entity, *valueLog) {
+		e, err := New(id, net, testCatalog(t), 1, miniFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		log := &valueLog{}
+		e.SetResultHandler(log.handle)
+		return e, log
+	}
+	src, srcLog := mk("src")
+	dst, dstLog := mk("dst")
+
+	// Windowed count over 8 tuples: once warm, every result value is 8
+	// — the order-insensitive continuity signal.
+	spec := aggQuerySpec("q1", 8)
+	if err := src.PlaceQuery(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		src.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+
+	// The full entity-level handoff, as the federation drives it.
+	if err := dst.PrepareQuery(spec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PauseQuery("q1"); err != nil {
+		t.Fatal(err)
+	}
+	// Tuples landing on both sides during the overlap: the source
+	// buffers seqs 20-24, the destination 22-27 — dedup must replay
+	// 20-27 exactly once.
+	for i := uint64(20); i < 25; i++ {
+		src.Ingest(quote(i, "ibm", 50, 1))
+	}
+	for i := uint64(22); i < 28; i++ {
+		dst.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+	_ = src.DrainQuery("q1", time.Second)
+
+	st, bytes, ok, err := src.SnapshotQuery("q1")
+	if err != nil || !ok || bytes <= 0 {
+		t.Fatalf("snapshot: %v ok=%v bytes=%d", err, ok, bytes)
+	}
+	if err := dst.RestoreQuery("q1", st); err != nil {
+		t.Fatal(err)
+	}
+	_, buffered, err := src.CompleteMigration("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buffered) != 5 {
+		t.Fatalf("source buffered %d, want 5", len(buffered))
+	}
+	replayed, dropped, err := dst.CommitQuery("q1", buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 8 || dropped != 0 {
+		t.Fatalf("replayed/dropped = %d/%d, want 8/0", replayed, dropped)
+	}
+	net.Quiesce(time.Second)
+
+	// Every tuple processed exactly once: 20 at the source, 8 replayed.
+	if got := srcLog.count("q1"); got != 20 {
+		t.Errorf("source results = %d, want 20", got)
+	}
+	if got := dstLog.count("q1"); got != 8 {
+		t.Errorf("destination results = %d, want 8", got)
+	}
+	// Window continuity: the destination's window must still be full
+	// (value 8), not restarted empty.
+	dst.Ingest(quote(100, "ibm", 50, 1))
+	net.Quiesce(time.Second)
+	if got := dstLog.count("q1"); got != 9 {
+		t.Fatalf("post-migration result missing: %d", got)
+	}
+	if v := dstLog.last("q1"); v != 8 {
+		t.Fatalf("window continuity broken: count = %v, want 8", v)
+	}
+}
+
+// valueLog counts results and remembers each query's last aggregate
+// value (field 1 of the agg output schema).
+type valueLog struct {
+	mu    sync.Mutex
+	n     map[string]int
+	lastV map[string]float64
+}
+
+func (l *valueLog) handle(queryID string, t stream.Tuple) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == nil {
+		l.n = map[string]int{}
+		l.lastV = map[string]float64{}
+	}
+	l.n[queryID]++
+	if len(t.Values) > 1 {
+		l.lastV[queryID] = t.Value(1).AsFloat()
+	}
+}
+
+func (l *valueLog) count(q string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n[q]
+}
+
+func (l *valueLog) last(q string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastV[q]
+}

@@ -38,9 +38,10 @@ func (s *Server) clusterHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	rows, root, _ := s.fed.ClusterStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"root":     root,
-		"entities": s.fed.ClusterHealth(),
-		"rows":     rows,
+		"root":       root,
+		"entities":   s.fed.ClusterHealth(),
+		"rows":       rows,
+		"migrations": s.fed.Migrations(),
 	})
 }
 
@@ -109,6 +110,11 @@ const clusterPageHTML = `<!doctype html>
   <thead><tr><th>entity</th><th>health</th><th>load</th><th>queries</th><th>PR_max</th><th>PR_max trend</th><th>age</th></tr></thead>
   <tbody id="entities"></tbody>
 </table>
+<h2>migrations</h2>
+<table>
+  <thead><tr><th>query</th><th>from → to</th><th>outcome</th><th>state</th><th>replayed</th><th>pause</th><th>reason</th></tr></thead>
+  <tbody id="migrations"></tbody>
+</table>
 <h2>recent events</h2>
 <div id="events"></div>
 <script>
@@ -137,6 +143,11 @@ async function refresh() {
         '<td>' + e.pr_max.toFixed(3) + '</td><td>' + spark(row.pr_spark) + '</td>' +
         '<td>' + (e.age_seconds < 0 ? '—' : e.age_seconds.toFixed(1) + 's') + '</td></tr>';
     }).join('');
+    document.getElementById('migrations').innerHTML = (h.migrations || []).slice(0, 20).map(m =>
+      '<tr><td>' + esc(m.query) + '</td><td>' + esc(m.from) + ' → ' + esc(m.to) + '</td>' +
+      '<td class="' + (m.outcome === 'commit' ? 'ok' : 'bad') + '">' + esc(m.outcome) + '</td>' +
+      '<td>' + m.state_bytes + 'B</td><td>' + m.replayed + '</td>' +
+      '<td>' + m.pause_ms.toFixed(1) + 'ms</td><td>' + esc(m.reason || '') + '</td></tr>').join('');
     const er = await fetch('events');
     if (er.ok) {
       const ev = await er.json();

@@ -14,7 +14,9 @@
 //	detector.suspect / detector.confirm
 //	control.giveup
 //	tree.repair
-//	migration.move / migration.place / migration.decide
+//	migration.plan / migration.start / migration.snapshot
+//	migration.commit / migration.rollback / migration.place / migration.decide
+//	ledger.error
 //	link.down / link.up
 //	decode.bad / decode.ok
 //	stats.enable

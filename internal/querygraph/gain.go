@@ -1,0 +1,53 @@
+package querygraph
+
+// MoveGain evaluates moving one vertex from its current part to another
+// under partitioning p: the edge-cut reduction in edge-weight units
+// (positive means the cut shrinks). It is the per-move form of the
+// repartitioners' global objective, used by the adaptation controller
+// to weigh a single migration's benefit against its cost.
+func MoveGain(g *Graph, p Partitioning, v VertexID, to int) float64 {
+	cur, ok := p[v]
+	if !ok || cur == to {
+		return 0
+	}
+	// Cut contribution of v now: edges to parts != cur. After the
+	// move: edges to parts != to. The difference reduces to
+	// (weight to `to`-neighbors) - (weight to `cur`-neighbors).
+	gain := 0.0
+	g.Neighbors(v, func(nb VertexID, w float64) {
+		switch p[nb] {
+		case to:
+			gain += w
+		case cur:
+			gain -= w
+		}
+	})
+	return gain
+}
+
+// BalanceGain evaluates the same move's effect on load balance: the
+// reduction of the maximum part load, in vertex-weight units (positive
+// means the hottest part cools down). Zero when the move does not touch
+// the maximum.
+func BalanceGain(g *Graph, p Partitioning, v VertexID, to int, k int) float64 {
+	cur, ok := p[v]
+	if !ok || cur == to || to < 0 || to >= k {
+		return 0
+	}
+	loads := g.PartitionWeights(p, k)
+	before := maxLoad(loads)
+	w := g.VertexWeight(v)
+	loads[cur] -= w
+	loads[to] += w
+	return before - maxLoad(loads)
+}
+
+func maxLoad(loads []float64) float64 {
+	m := 0.0
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -113,6 +113,8 @@ type (
 	StreamRate = core.StreamRate
 	// Ledger accounts entity execution time.
 	Ledger = core.Ledger
+	// MigrationRecord is one committed or rolled-back live migration.
+	MigrationRecord = core.MigrationRecord
 	// Strategy selects the dissemination-tree shape.
 	Strategy = dissemination.Strategy
 )
