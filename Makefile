@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench
+.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench
 
-check: vet staticcheck build chaos bench-tuplepath bench-statsplane bench-migration
+check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,19 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi
+
+# Observability hygiene: internal packages log through obslog (leveled,
+# journaled, rate-limited) — never straight to stdout/stderr. Fails on
+# any log.Printf / fmt.Print / fmt.Printf / fmt.Println call site in
+# non-test internal code.
+lint-obslog:
+	@bad=$$(grep -rnE '(log\.Printf|fmt\.Print(f|ln)?)\(' internal/ --include='*.go' | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-obslog: use obslog instead of printf-style logging in internal/:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-obslog: clean"
 
 build:
 	$(GO) build ./...
@@ -56,6 +69,14 @@ bench-statsplane:
 # lost or duplicated tuple, or a handoff pause over the 250ms budget.
 bench-migration:
 	$(GO) run ./cmd/sspd-bench -migration BENCH_migration.json
+
+# Regenerates BENCH_latency.json: the latency attribution plane's
+# tuple-path overhead at 1/1024 span sampling, and the accuracy of the
+# federated P99 against an exact sorted-delay oracle. Fails if the
+# plane costs the tuple path more than 1% or the federated P99 lands
+# more than one log-bucket from the oracle.
+bench-latency:
+	$(GO) run ./cmd/sspd-bench -latency BENCH_latency.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

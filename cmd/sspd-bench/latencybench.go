@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sspd/internal/core"
+	"sspd/internal/engine"
+	"sspd/internal/latency"
+	"sspd/internal/obslog"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/trace"
+	"sspd/internal/workload"
+)
+
+// latencyReport is BENCH_latency.json: the cost and the accuracy of the
+// latency attribution plane (DESIGN.md §11).
+type latencyReport struct {
+	// SampleEvery is the trace sampling rate both tuple-path runs used.
+	SampleEvery int `json:"sample_every"`
+	// NsPerTuplePlaneOff / On are end-to-end publish->result costs per
+	// tuple with tracing sampled 1/1024 and the latency plane disabled
+	// vs. enabled (span decomposition + histograms + SLO watchdog).
+	NsPerTuplePlaneOff float64 `json:"ns_per_tuple_latency_off"`
+	NsPerTuplePlaneOn  float64 `json:"ns_per_tuple_latency_on"`
+	// OverheadPct is the on/off delta; the acceptance bar is <= 1.
+	OverheadPct float64 `json:"latency_overhead_pct"`
+
+	// FederatedP99 is the cluster-wide end-to-end P99 answered by the
+	// merged per-entity histograms; OracleP99 is the exact P99 computed
+	// by sorting every sampled span's delay. P99BucketDistance is how
+	// many log-bucket boundaries apart the two land — the log-bucket
+	// quantile contract says at most one.
+	FederatedP99      float64 `json:"federated_p99_seconds"`
+	OracleP99         float64 `json:"oracle_p99_seconds"`
+	OracleSpans       int     `json:"oracle_spans"`
+	P99BucketDistance int     `json:"p99_bucket_distance"`
+}
+
+const (
+	// maxLatencyOverheadPct gates the tuple-path cost of the plane.
+	maxLatencyOverheadPct = 1.0
+	// latencySampleEvery is the sampling rate for the overhead runs.
+	latencySampleEvery = 1024
+)
+
+// latencyFederation builds the standard bench topology. Callers own the
+// returned federation and transport.
+func latencyFederation(nEntities, fanout int) (*core.Federation, *simnet.SimNet, error) {
+	net := simnet.NewSim(nil)
+	catalog := workload.Catalog(100, 20)
+	fed, err := core.New(net, catalog, core.Options{Fanout: fanout,
+		Logger: obslog.New(obslog.NewJournal(obslog.DefaultJournalCapacity), nil)})
+	if err != nil {
+		net.Close()
+		return nil, nil, err
+	}
+	if err := fed.AddSource("quotes", simnet.Point{},
+		core.StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+		fed.Close()
+		net.Close()
+		return nil, nil, err
+	}
+	mini := func(name string, c *stream.Catalog) engine.Processor {
+		return engine.NewMini(name, c)
+	}
+	for i := 0; i < nEntities; i++ {
+		if err := fed.AddEntity(fmt.Sprintf("e%02d", i),
+			simnet.Point{X: float64(10 + i*20)}, 2, mini); err != nil {
+			fed.Close()
+			net.Close()
+			return nil, nil, err
+		}
+	}
+	if err := fed.Start(); err != nil {
+		fed.Close()
+		net.Close()
+		return nil, nil, err
+	}
+	for q := 0; q < nEntities; q++ {
+		spec := engine.QuerySpec{
+			ID: fmt.Sprintf("q%d", q), Source: "quotes",
+			Filters: []engine.FilterSpec{{Field: "price", Lo: 0, Hi: 1000, Cost: 1}},
+			Load:    5,
+		}
+		if _, err := fed.SubmitQuery(spec, simnet.Point{X: float64(15 + q*20)}, nil); err != nil {
+			fed.Close()
+			net.Close()
+			return nil, nil, err
+		}
+	}
+	net.Quiesce(2 * time.Second)
+	return fed, net, nil
+}
+
+func runLatencyBench(path string) error {
+	rep := latencyReport{SampleEvery: latencySampleEvery}
+
+	// Part 1 — tuple-path overhead. Both runs sample 1/1024; only the
+	// second attaches the completion hook, decomposition, and watchdog.
+	const (
+		nEntities = 4
+		nTuples   = 100_000
+		batchSize = 100
+		rounds    = 3
+	)
+	runOnce := func(plane bool) (float64, error) {
+		fed, net, err := latencyFederation(nEntities, 3)
+		if err != nil {
+			return 0, err
+		}
+		defer net.Close()
+		defer fed.Close()
+		defer trace.SetActive(nil)
+		if _, err := fed.EnableTracing(latencySampleEvery, 4096); err != nil {
+			return 0, err
+		}
+		// The stats plane runs in both configurations (its own cost is
+		// gated by bench-statsplane); the delta here isolates the latency
+		// plane: completion hook, decomposition, histograms, watchdog.
+		if plane {
+			if err := fed.EnableLatencyAttribution(0); err != nil {
+				return 0, err
+			}
+		}
+		if err := fed.EnableStatsPlane(50 * time.Millisecond); err != nil {
+			return 0, err
+		}
+		tick := workload.NewTicker(1, 100, 1.2)
+		if err := fed.Publish("quotes", tick.Batch(batchSize)); err != nil {
+			return 0, err
+		}
+		net.Quiesce(2 * time.Second)
+		start := time.Now()
+		for sent := 0; sent < nTuples; sent += batchSize {
+			if err := fed.Publish("quotes", tick.Batch(batchSize)); err != nil {
+				return 0, err
+			}
+		}
+		net.Quiesce(10 * time.Second)
+		return float64(time.Since(start).Nanoseconds()) / float64(nTuples), nil
+	}
+	run := func(plane bool) (float64, error) {
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			ns, err := runOnce(plane)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+	var err error
+	if rep.NsPerTuplePlaneOff, err = run(false); err != nil {
+		return err
+	}
+	if rep.NsPerTuplePlaneOn, err = run(true); err != nil {
+		return err
+	}
+	rep.OverheadPct = 100 * (rep.NsPerTuplePlaneOn - rep.NsPerTuplePlaneOff) / rep.NsPerTuplePlaneOff
+
+	// Part 2 — merge accuracy. Every tuple sampled on a 3-entity
+	// federation; the federated P99 (per-entity histograms merged
+	// through the stats rows) must land within one log-bucket of the
+	// exact P99 computed from the raw spans themselves.
+	if err := func() error {
+		fed, net, err := latencyFederation(3, 2)
+		if err != nil {
+			return err
+		}
+		defer net.Close()
+		defer fed.Close()
+		defer trace.SetActive(nil)
+		const oracleTuples = 2000
+		tr, err := fed.EnableTracing(1, 2*oracleTuples)
+		if err != nil {
+			return err
+		}
+		if err := fed.EnableLatencyAttribution(0); err != nil {
+			return err
+		}
+		if err := fed.EnableStatsPlane(0); err != nil {
+			return err
+		}
+		tick := workload.NewTicker(1, 100, 1.2)
+		for sent := 0; sent < oracleTuples; sent += 100 {
+			if err := fed.Publish("quotes", tick.Batch(100)); err != nil {
+				return err
+			}
+		}
+		net.Quiesce(10 * time.Second)
+		for i := 0; i < 2; i++ {
+			fed.StatsTick()
+			net.Quiesce(2 * time.Second)
+		}
+
+		att, ok := fed.ClusterLatency()
+		if !ok || att.E2E.Count == 0 {
+			return fmt.Errorf("no federated latency view (count=%d)", att.E2E.Count)
+		}
+		rep.FederatedP99 = att.E2E.Quantile(0.99)
+
+		// The oracle: decompose every buffered span exactly as the plane
+		// did, but keep the raw delays and sort them.
+		var exact []float64
+		for _, s := range tr.Recent(tr.Len()) {
+			for i, h := range s.Hops {
+				if h.Stage != trace.StageResult {
+					continue
+				}
+				if bd, ok := latency.Decompose(s, i); ok {
+					exact = append(exact, bd.E2E)
+				}
+			}
+		}
+		if len(exact) == 0 {
+			return fmt.Errorf("oracle found no completed spans")
+		}
+		if uint64(len(exact)) != att.E2E.Count {
+			return fmt.Errorf("oracle saw %d delays, federation %d", len(exact), att.E2E.Count)
+		}
+		sort.Float64s(exact)
+		rep.OracleSpans = len(exact)
+		idx := int(0.99*float64(len(exact))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(exact) {
+			idx = len(exact) - 1
+		}
+		rep.OracleP99 = exact[idx]
+
+		bucketOf := func(v float64) int {
+			bounds := latency.Bounds()
+			for i, b := range bounds {
+				if v <= b {
+					return i
+				}
+			}
+			return len(bounds)
+		}
+		rep.P99BucketDistance = bucketOf(rep.FederatedP99) - bucketOf(rep.OracleP99)
+		if rep.P99BucketDistance < 0 {
+			rep.P99BucketDistance = -rep.P99BucketDistance
+		}
+		return nil
+	}(); err != nil {
+		return err
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("latency bench: tuple off=%.0fns on=%.0fns (%+.2f%% @1/%d) fed p99=%.3gs oracle p99=%.3gs (bucket distance %d over %d spans)\n",
+		rep.NsPerTuplePlaneOff, rep.NsPerTuplePlaneOn, rep.OverheadPct, rep.SampleEvery,
+		rep.FederatedP99, rep.OracleP99, rep.P99BucketDistance, rep.OracleSpans)
+	fmt.Printf("  wrote %s\n", path)
+	if rep.OverheadPct > maxLatencyOverheadPct {
+		return fmt.Errorf("latency plane adds %.2f%% to the tuple path (bar: %.1f%%)",
+			rep.OverheadPct, maxLatencyOverheadPct)
+	}
+	if rep.P99BucketDistance > 1 {
+		return fmt.Errorf("federated P99 is %d buckets from the oracle (bar: 1)", rep.P99BucketDistance)
+	}
+	return nil
+}

@@ -42,6 +42,7 @@ func main() {
 	chaos := flag.String("chaos", "", "run the chaos/recovery bench with this fault spec, e.g. drop=0.05,dup=0.02,partition=500ms,crash=1,seed=7")
 	chaosOut := flag.String("chaos-out", "BENCH_robustness.json", "output path for the chaos bench JSON report")
 	migration := flag.String("migration", "", "run the live-migration bench and write its JSON report to this file (non-zero exit on tuple loss or pause over budget)")
+	latencyOut := flag.String("latency", "", "run the latency-attribution bench (tuple-path overhead + federated-P99 accuracy) and write its JSON report to this file")
 	flag.Parse()
 	if *list {
 		for _, id := range order {
@@ -79,6 +80,13 @@ func main() {
 	}
 	if *migration != "" {
 		if err := runMigrationBench(*migration); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *latencyOut != "" {
+		if err := runLatencyBench(*latencyOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

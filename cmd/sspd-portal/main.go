@@ -86,7 +86,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("tracing 1 in %d tuples\n", *traceEvery)
+		// Latency attribution rides the sampled spans and the stats
+		// ticks; interval 0 means the SLO watchdog evaluates once per
+		// stats period (enabled below).
+		if err := fed.EnableLatencyAttribution(0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracing 1 in %d tuples (latency attribution at GET /cluster/latency)\n", *traceEvery)
 	}
 
 	// Background market: publish batches at ~rate tuples/second.

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"sspd/internal/latency"
 	"sspd/internal/metrics"
 	"sspd/internal/simnet"
 )
@@ -61,6 +62,14 @@ type EntityStats struct {
 	PRSpark    []float64              `json:"pr_spark,omitempty"`
 	QueryLoads map[string]float64     `json:"query_loads,omitempty"`
 	Streams    map[string]StreamStats `json:"streams,omitempty"`
+
+	// Latency carries the entity's span-derived attribution snapshot
+	// (per-stage and end-to-end log-bucket histograms plus per-query
+	// measured PR). The histograms merge bucket-wise at the root —
+	// exactly, unlike reservoir quantiles — so the root digest answers
+	// cluster-wide percentiles per stage. Nil when the latency plane is
+	// not enabled.
+	Latency *latency.Attribution `json:"latency,omitempty"`
 
 	SendErrors   int64 `json:"send_errors"`
 	DecodeErrors int64 `json:"decode_errors"`

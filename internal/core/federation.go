@@ -137,7 +137,10 @@ type Federation struct {
 	// backs GET /events.
 	logger *obslog.Logger
 	// stats is the cluster stats plane (nil until EnableStatsPlane).
-	stats   *statsPlane
+	stats *statsPlane
+	// lat is the latency attribution plane (nil until
+	// EnableLatencyAttribution).
+	lat     *latencyPlane
 	started bool
 	closed  bool
 }
@@ -519,6 +522,7 @@ func (f *Federation) placeOn(entityID string, spec engine.QuerySpec, onResult fu
 		f.logger.Warn("ledger.error", entityID, "ledger start failed",
 			"query", spec.ID, "err", err.Error())
 	}
+	f.latencyRoutesChanged()
 	return f.refreshInterests(entityID, spec.Streams())
 }
 
@@ -549,6 +553,7 @@ func (f *Federation) RemoveQuery(id string) error {
 		f.logger.Warn("ledger.error", fq.entity, "ledger stop failed",
 			"query", id, "err", err.Error())
 	}
+	f.latencyRoutesChanged()
 	return f.refreshInterests(fq.entity, fq.spec.Streams())
 }
 
@@ -838,6 +843,7 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 		}
 	}
 	stats := f.stats
+	lat := f.lat
 	f.mu.Unlock()
 	for _, s := range streams {
 		f.logger.Info("tree.repair", id, "dissemination tree rewired around departed entity",
@@ -845,6 +851,9 @@ func (f *Federation) LeaveEntity(id string) (int, error) {
 	}
 	if stats != nil {
 		stats.removeNode(id)
+	}
+	if lat != nil {
+		lat.forgetEntity(id)
 	}
 	for _, r := range refresh {
 		if err := r.Refresh(); err != nil {
@@ -921,6 +930,7 @@ func (f *Federation) FailEntity(id string) (int, error) {
 		}
 	}
 	stats := f.stats
+	lat := f.lat
 	f.mu.Unlock()
 	for _, s := range streams {
 		f.logger.Warn("tree.repair", id, "dissemination tree rewired around failed entity",
@@ -928,6 +938,9 @@ func (f *Federation) FailEntity(id string) (int, error) {
 	}
 	if stats != nil {
 		stats.removeNode(id)
+	}
+	if lat != nil {
+		lat.forgetEntity(id)
 	}
 
 	if en.hb != nil {
@@ -1271,7 +1284,12 @@ func (f *Federation) Close() {
 	f.tracer = nil
 	stats := f.stats
 	f.stats = nil
+	lat := f.lat
+	f.lat = nil
 	f.mu.Unlock()
+	if lat != nil {
+		lat.close(tracer)
+	}
 	if stats != nil {
 		stats.close()
 	}

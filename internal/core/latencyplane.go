@@ -1,0 +1,450 @@
+package core
+
+// The latency attribution plane (DESIGN.md §11): the tracer's span
+// completion hook decomposes every sampled tuple's journey into
+// per-stage wall-clock deltas (dissemination, network, ingest, engine,
+// eval) recorded into mergeable log-bucket histograms per hosting
+// entity. The per-entity snapshots ride the stats federation's
+// EntityStats rows, so the coordinator-tree root answers cluster-wide
+// per-stage percentiles by exact bucket-wise merge. On top of the
+// merged view the plane derives each query's *measured* performance
+// ratio (span delay over span-measured evaluation time, vs. the
+// engine-estimated d_k/p_k) and evaluates declarative SLO rules every
+// stats tick, journaling slo.breach / slo.clear transitions.
+//
+// Everything here is driven by completed spans and periodic ticks; the
+// unsampled tuple path is untouched.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspd/internal/latency"
+	"sspd/internal/metrics"
+	"sspd/internal/trace"
+)
+
+// DefaultSLORules is the rule set used when EnableLatencyAttribution is
+// given none: end-to-end tail latency, worst measured PR, and the
+// network stage's share of total time.
+var DefaultSLORules = []string{
+	"p99_end_to_end < 250ms",
+	"pr_max < 3",
+	"stage_share(network) < 60%",
+}
+
+// latencyPlane owns the per-entity recorders, the query→recorder
+// routing table the completion hook reads, and the SLO watchdog state.
+type latencyPlane struct {
+	f        *Federation
+	watchdog *latency.Watchdog
+
+	// route maps query ID → hosting entity's recorder. Copy-on-write:
+	// the completion hook (called from tuple-path goroutines) only loads
+	// it, so it never contends with federation locks.
+	route atomic.Pointer[map[string]*latency.Recorder]
+
+	mu        sync.Mutex
+	recorders map[string]*latency.Recorder // entity → recorder
+	breaches  map[string]int64             // rule → breach transitions
+	verdicts  []latency.Verdict            // last watchdog evaluation
+
+	// leftover records breakdowns for queries not yet in the routing
+	// table (placed after the last refresh) plus incomplete-span
+	// bookkeeping; it is merged into the cluster view alongside the
+	// federated rows so nothing is silently dropped.
+	leftover *latency.Recorder
+	// Unrouted counts breakdowns that fell through to leftover.
+	Unrouted metrics.Counter
+
+	loopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// EnableLatencyAttribution starts the latency attribution plane.
+// Tracing must be enabled first: the plane consumes the tracer's span
+// completion hook. interval > 0 runs a background watchdog evaluation
+// loop; interval <= 0 leaves evaluation to StatsTick (and SLOTick), the
+// deterministic path tests drive. rules are SLO rule lines (see
+// latency.ParseRule); none installs DefaultSLORules.
+func (f *Federation) EnableLatencyAttribution(interval time.Duration, rules ...string) error {
+	if len(rules) == 0 {
+		rules = DefaultSLORules
+	}
+	parsed, err := latency.ParseRules(rules)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if f.tracer == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: latency attribution needs tracing (call EnableTracing first)")
+	}
+	if f.lat != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: latency attribution already enabled")
+	}
+	p := &latencyPlane{
+		f:         f,
+		watchdog:  latency.NewWatchdog(parsed),
+		recorders: make(map[string]*latency.Recorder),
+		breaches:  make(map[string]int64),
+		leftover:  latency.NewRecorder(),
+	}
+	f.lat = p
+	tracer := f.tracer
+	f.mu.Unlock()
+
+	p.refreshRoutes()
+	tracer.SetOnComplete(p.onComplete)
+	f.registry.RegisterCollector(p.collect)
+	if interval > 0 {
+		p.start(interval)
+	}
+	f.logger.Info("slo.watch", "", "latency attribution plane enabled",
+		"rules", len(parsed), "interval", interval)
+	return nil
+}
+
+// LatencyEnabled reports whether the attribution plane is running.
+func (f *Federation) LatencyEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lat != nil
+}
+
+// ClusterLatency returns the cluster-wide attribution view: the
+// bucket-wise merge of every entity's federated latency row (as seen by
+// the coordinator-tree root) plus locally buffered leftovers. When the
+// stats plane is not enabled the per-entity recorders are merged
+// directly. ok is false while the plane is disabled.
+func (f *Federation) ClusterLatency() (latency.Attribution, bool) {
+	f.mu.Lock()
+	p := f.lat
+	statsUp := f.stats != nil
+	f.mu.Unlock()
+	if p == nil {
+		return latency.Attribution{}, false
+	}
+	var out latency.Attribution
+	merged := false
+	if statsUp {
+		if rows, _, ok := f.ClusterStats(); ok {
+			for _, row := range rows {
+				if row.Latency != nil {
+					out.Merge(*row.Latency)
+				}
+			}
+			merged = true
+		}
+	}
+	if !merged {
+		p.mu.Lock()
+		recs := make([]*latency.Recorder, 0, len(p.recorders))
+		for _, r := range p.recorders {
+			recs = append(recs, r)
+		}
+		p.mu.Unlock()
+		for _, r := range recs {
+			out.Merge(r.Snapshot())
+		}
+	}
+	out.Merge(p.leftover.Snapshot())
+	return out, true
+}
+
+// PRMeasuredMax returns the worst measured performance ratio across the
+// cluster view and the query achieving it.
+func (f *Federation) PRMeasuredMax() (pr float64, query string) {
+	att, ok := f.ClusterLatency()
+	if !ok {
+		return 0, ""
+	}
+	for _, q := range att.Queries {
+		if q.PRMeasured > pr {
+			pr, query = q.PRMeasured, q.Query
+		}
+	}
+	return pr, query
+}
+
+// SLOTick runs one watchdog evaluation against the current cluster
+// view, journaling breach/clear transitions. StatsTick calls this
+// automatically; exposed for tests and callers that federate manually.
+// Returns the per-rule verdicts (nil when the plane is disabled).
+func (f *Federation) SLOTick() []latency.Verdict {
+	f.mu.Lock()
+	p := f.lat
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.eval()
+}
+
+// SLOStatus returns the verdicts of the most recent watchdog tick.
+func (f *Federation) SLOStatus() []latency.Verdict {
+	f.mu.Lock()
+	p := f.lat
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]latency.Verdict(nil), p.verdicts...)
+}
+
+// latencyRoutesChanged refreshes the attribution plane's query routing
+// table after a placement change. Must be called without f.mu held.
+func (f *Federation) latencyRoutesChanged() {
+	f.mu.Lock()
+	p := f.lat
+	f.mu.Unlock()
+	if p != nil {
+		p.refreshRoutes()
+	}
+}
+
+// latencyRowFor is the stats plane's fold hook: one entity's current
+// attribution snapshot (nil when the plane is off or the entity has
+// recorded nothing yet).
+func (f *Federation) latencyRowFor(id string) *latency.Attribution {
+	f.mu.Lock()
+	p := f.lat
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	rec := p.recorders[id]
+	p.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	a := rec.Snapshot()
+	return &a
+}
+
+// onComplete is the tracer's completion hook. It runs on whatever
+// goroutine recorded the terminal hop, so it touches only the plane's
+// own state — never federation locks.
+func (p *latencyPlane) onComplete(s trace.Span, hop int) {
+	if hop < 0 {
+		p.leftover.OnComplete(s, hop) // counts the incomplete journey
+		return
+	}
+	if s.Hops[hop].Stage == trace.StagePortal {
+		return // the result hop that preceded it was already recorded
+	}
+	bd, ok := latency.Decompose(s, hop)
+	if !ok {
+		p.leftover.Unattributed.Inc()
+		return
+	}
+	if m := p.route.Load(); m != nil {
+		if rec := (*m)[bd.Query]; rec != nil {
+			rec.Observe(bd)
+			return
+		}
+	}
+	p.Unrouted.Inc()
+	p.leftover.Observe(bd)
+}
+
+// refreshRoutes rebuilds the copy-on-write query→recorder table from
+// the current assignment. Called on placement changes and before every
+// watchdog tick; must not run under f.mu.
+func (p *latencyPlane) refreshRoutes() {
+	f := p.f
+	f.mu.Lock()
+	assign := make(map[string]string, len(f.queries))
+	for q, fq := range f.queries {
+		assign[q] = fq.entity
+	}
+	f.mu.Unlock()
+	p.mu.Lock()
+	m := make(map[string]*latency.Recorder, len(assign))
+	for q, entityID := range assign {
+		rec := p.recorders[entityID]
+		if rec == nil {
+			rec = latency.NewRecorder()
+			p.recorders[entityID] = rec
+		}
+		m[q] = rec
+	}
+	p.mu.Unlock()
+	p.route.Store(&m)
+}
+
+// forgetEntity drops a departed entity's recorder; its history stays in
+// already-federated rows until they expire.
+func (p *latencyPlane) forgetEntity(id string) {
+	p.mu.Lock()
+	delete(p.recorders, id)
+	p.mu.Unlock()
+	p.refreshRoutes()
+}
+
+// eval runs one watchdog tick: routes are refreshed, the cluster view
+// merged, the rules evaluated on this window's traffic, and state
+// transitions journaled and counted.
+func (p *latencyPlane) eval() []latency.Verdict {
+	p.refreshRoutes()
+	f := p.f
+	att, ok := f.ClusterLatency()
+	if !ok {
+		return nil
+	}
+	prMax := 0.0
+	for _, q := range att.Queries {
+		if q.PRMeasured > prMax {
+			prMax = q.PRMeasured
+		}
+	}
+	vs := p.watchdog.Eval(latency.Observation{
+		E2E:    att.E2E,
+		Stages: att.Stages,
+		PRMax:  prMax,
+	})
+	p.mu.Lock()
+	p.verdicts = vs
+	for _, v := range vs {
+		if v.Transition && v.Breached {
+			p.breaches[v.Rule.Raw]++
+		}
+	}
+	p.mu.Unlock()
+	for _, v := range vs {
+		if !v.Transition {
+			continue
+		}
+		if v.Breached {
+			f.logger.Warn("slo.breach", "", "SLO rule breached",
+				"rule", v.Rule.Raw, "value", fmt.Sprintf("%.6g", v.Value))
+		} else {
+			f.logger.Info("slo.clear", "", "SLO rule recovered",
+				"rule", v.Rule.Raw, "value", fmt.Sprintf("%.6g", v.Value))
+		}
+	}
+	return vs
+}
+
+func (p *latencyPlane) start(interval time.Duration) {
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.eval()
+			}
+		}
+	}(p.stop, p.done)
+}
+
+// close stops the loop and detaches the completion hook.
+func (p *latencyPlane) close(tracer *trace.Tracer) {
+	p.loopMu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.loopMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if tracer != nil {
+		tracer.SetOnComplete(nil)
+	}
+}
+
+// collect renders the plane as Prometheus families on the federation
+// registry: real histogram families for the merged stage and
+// end-to-end distributions, per-query measured PR with its drift from
+// the engine estimate, and SLO state.
+func (p *latencyPlane) collect(emit func(metrics.Sample)) {
+	f := p.f
+	att, ok := f.ClusterLatency()
+	if !ok {
+		return
+	}
+	gauge := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindGauge, Labels: labels, Value: v})
+	}
+	counter := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindCounter, Labels: labels, Value: v})
+	}
+	hist := func(name, help string, s latency.HistSnapshot, labels ...metrics.Label) {
+		if s.Count == 0 || len(s.Counts) == 0 {
+			return
+		}
+		emit(metrics.Sample{Name: name, Help: help, Labels: labels, Hist: &metrics.HistSample{
+			Bounds: latency.Bounds(), Counts: s.Counts, Sum: s.Sum,
+		}})
+	}
+
+	hist("sspd_latency_e2e_seconds", "End-to-end publish-to-result latency of sampled tuples.", att.E2E)
+	stages := make([]string, 0, len(att.Stages))
+	for st := range att.Stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		hist("sspd_latency_stage_seconds", "Per-stage latency of sampled tuples.",
+			att.Stages[st], metrics.L("stage", st))
+	}
+
+	for _, q := range att.Queries {
+		lq := metrics.L("query", q.Query)
+		gauge("sspd_pr_measured", "Measured Performance Ratio per query (span delay over span eval time).",
+			q.PRMeasured, lq)
+		if est, ok := f.QueryPR(q.Query); ok {
+			gauge("sspd_pr_drift", "Measured minus estimated Performance Ratio per query.",
+				q.PRMeasured-est, lq)
+		}
+	}
+
+	counter("sspd_latency_incomplete_total", "Sampled spans evicted before reaching a result.",
+		float64(att.Incomplete))
+	counter("sspd_latency_unrouted_total", "Breakdowns recorded for queries absent from the routing table.",
+		float64(p.Unrouted.Value()))
+
+	p.mu.Lock()
+	verdicts := append([]latency.Verdict(nil), p.verdicts...)
+	breaches := make(map[string]int64, len(p.breaches))
+	for r, n := range p.breaches {
+		breaches[r] = n
+	}
+	p.mu.Unlock()
+	for _, v := range verdicts {
+		gauge("sspd_slo_breached", "1 while the SLO rule is in breach.",
+			b2f(v.Breached), metrics.L("rule", v.Rule.Raw))
+	}
+	rules := make([]string, 0, len(breaches))
+	for r := range breaches {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		counter("sspd_slo_breaches_total", "SLO breach transitions per rule.",
+			float64(breaches[r]), metrics.L("rule", r))
+	}
+}

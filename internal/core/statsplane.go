@@ -31,6 +31,12 @@ type statsPlane struct {
 	interval time.Duration
 	registry *metrics.Registry
 
+	// stop/done wire the background SLO ticker (interval > 0 only): the
+	// stats nodes run their own push loops, so without this the watchdog
+	// would only ever be clocked by manual StatsTick calls.
+	stop chan struct{}
+	done chan struct{}
+
 	mu    sync.Mutex
 	nodes map[string]*coordinator.StatsNode
 	folds map[string]*foldState
@@ -78,6 +84,26 @@ func (f *Federation) EnableStatsPlane(interval time.Duration) error {
 	f.mu.Unlock()
 	for _, id := range ids {
 		p.addNode(id)
+	}
+	if interval > 0 {
+		// Background mode: the stats nodes push on their own loops and
+		// StatsTick is never called, so the SLO watchdog needs its own
+		// clock at the same digest period.
+		p.stop = make(chan struct{})
+		p.done = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					f.SLOTick()
+				}
+			}
+		}(p.stop, p.done)
 	}
 	f.logger.Info("stats.enable", "", "cluster stats plane enabled",
 		"interval", interval, "entities", len(ids))
@@ -129,6 +155,9 @@ func (f *Federation) StatsTick() {
 	for _, n := range nodes {
 		n.Tick()
 	}
+	// The SLO watchdog is clocked by the stats federation: one verdict
+	// pass per digest period, over this window's traffic.
+	f.SLOTick()
 }
 
 // ClusterStats returns the merged cluster table as seen by the current
@@ -332,6 +361,10 @@ func (p *statsPlane) removeNode(id string) {
 
 // close shuts every node down (same locking caveat as removeNode).
 func (p *statsPlane) close() {
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+	}
 	p.mu.Lock()
 	nodes := make([]*coordinator.StatsNode, 0, len(p.nodes))
 	for _, n := range p.nodes {
@@ -488,6 +521,10 @@ func (p *statsPlane) fold(id string) coordinator.EntityStats {
 	}
 	row.PRSpark = append([]float64(nil), st.spark...)
 	p.mu.Unlock()
+
+	// Latency attribution rides the row so the root can merge cluster
+	// percentiles bucket-wise (nil when the plane is off).
+	row.Latency = f.latencyRowFor(id)
 	return row
 }
 

@@ -6,13 +6,17 @@ package httpapi
 //	GET /cluster          live ops view (HTML)
 //	GET /cluster/metrics  merged cluster digest, Prometheus text format
 //	GET /cluster/health   per-entity health derived from digest freshness
+//	GET /cluster/latency  latency attribution: stage waterfalls, measured
+//	                      PR vs estimate, SLO watchdog verdicts
 //	GET /events           structured event journal, ?since=<seq>&kind=<k>
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
+	"sspd/internal/latency"
 	"sspd/internal/obslog"
 )
 
@@ -42,6 +46,103 @@ func (s *Server) clusterHealth(w http.ResponseWriter, _ *http.Request) {
 		"entities":   s.fed.ClusterHealth(),
 		"rows":       rows,
 		"migrations": s.fed.Migrations(),
+	})
+}
+
+// histSummary condenses a latency histogram for JSON clients. All
+// values are seconds; the percentiles are log-bucket estimates (exact
+// to within one bucket boundary, see latency.HistSnapshot.Quantile).
+type histSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+func summarize(h latency.HistSnapshot) histSummary {
+	return histSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// clusterLatency answers the cluster-wide latency attribution view: the
+// merged end-to-end distribution, the per-stage waterfall with each
+// stage's share of total delay, per-query rows joining measured PR
+// against the engine-estimated PR, and the SLO watchdog's verdicts.
+func (s *Server) clusterLatency(w http.ResponseWriter, _ *http.Request) {
+	if !s.fed.LatencyEnabled() {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: latency attribution not enabled"))
+		return
+	}
+	att, _ := s.fed.ClusterLatency()
+
+	var totalStage float64
+	for _, hs := range att.Stages {
+		totalStage += hs.Sum
+	}
+	stages := make(map[string]map[string]any, len(att.Stages))
+	for st, hs := range att.Stages {
+		share := 0.0
+		if totalStage > 0 {
+			share = hs.Sum / totalStage
+		}
+		row := summarize(hs)
+		stages[st] = map[string]any{
+			"count":        row.Count,
+			"mean_seconds": row.Mean,
+			"p50_seconds":  row.P50,
+			"p95_seconds":  row.P95,
+			"p99_seconds":  row.P99,
+			"share":        share,
+		}
+	}
+
+	queries := make([]map[string]any, 0, len(att.Queries))
+	for _, q := range att.Queries {
+		row := map[string]any{
+			"query":       q.Query,
+			"e2e":         summarize(q.E2E),
+			"eval_mean":   q.EvalMean,
+			"pr_measured": q.PRMeasured,
+			"waterfall":   q.Stages,
+		}
+		if est, ok := s.fed.QueryPR(q.Query); ok {
+			row["pr_estimated"] = est
+			row["pr_drift"] = q.PRMeasured - est
+		}
+		if ent, ok := s.fed.QueryEntity(q.Query); ok {
+			row["entity"] = ent
+		}
+		queries = append(queries, row)
+	}
+
+	slo := make([]map[string]any, 0)
+	for _, v := range s.fed.SLOStatus() {
+		row := map[string]any{
+			"rule":      v.Rule.Raw,
+			"breached":  v.Breached,
+			"evaluated": v.Evaluated,
+		}
+		// Value is NaN when the window carried no traffic; JSON has no
+		// NaN, so unevaluated rules simply omit it.
+		if !math.IsNaN(v.Value) {
+			row["value"] = v.Value
+		}
+		slo = append(slo, row)
+	}
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"e2e":         summarize(att.E2E),
+		"stages":      stages,
+		"queries":     queries,
+		"slo":         slo,
+		"incomplete":  att.Incomplete,
+		"stage_order": latency.Stages,
 	})
 }
 
@@ -100,7 +201,16 @@ const clusterPageHTML = `<!doctype html>
   svg { vertical-align: middle; }
   #events div { padding: 0.1rem 0; font-size: 0.8rem; border-bottom: 1px solid #222; }
   .kind { color: #8bf; } .seq { color: #666; }
-  #meta { color: #888; font-size: 0.8rem; }
+  #meta, #lat-meta { color: #888; font-size: 0.8rem; }
+  .wf { display: inline-flex; width: 220px; height: 12px; background: #222; }
+  .wf div { height: 100%; }
+  .wf-dissemination { background: #8bf; } .wf-network { background: #e66; }
+  .wf-ingest { background: #fc6; } .wf-engine { background: #c9f; } .wf-eval { background: #6c6; }
+  .slo { display: inline-block; padding: 0 0.5rem; margin-right: 0.5rem; border-radius: 3px; font-size: 0.8rem; }
+  .slo.ok { background: #163; color: #cfc; } .slo.bad { background: #611; color: #fcc; }
+  .slo.idle { background: #333; color: #999; }
+  .legend span { margin-right: 0.8rem; font-size: 0.75rem; color: #999; }
+  .swatch { display: inline-block; width: 9px; height: 9px; margin-right: 0.25rem; }
 </style>
 </head>
 <body>
@@ -109,6 +219,18 @@ const clusterPageHTML = `<!doctype html>
 <table>
   <thead><tr><th>entity</th><th>health</th><th>load</th><th>queries</th><th>PR_max</th><th>PR_max trend</th><th>age</th></tr></thead>
   <tbody id="entities"></tbody>
+</table>
+<h2>latency</h2>
+<div id="lat-meta">latency attribution not enabled</div>
+<div id="slo"></div>
+<div class="legend" id="lat-legend"></div>
+<table>
+  <thead><tr><th>stage</th><th>share</th><th>p50</th><th>p95</th><th>p99</th></tr></thead>
+  <tbody id="lat-stages"></tbody>
+</table>
+<table>
+  <thead><tr><th>query</th><th>entity</th><th>waterfall</th><th>mean</th><th>p99</th><th>PR meas</th><th>PR est</th><th>drift</th></tr></thead>
+  <tbody id="lat-queries"></tbody>
 </table>
 <h2>migrations</h2>
 <table>
@@ -128,6 +250,43 @@ function spark(vals) {
     '" fill="none" stroke="#8bf" stroke-width="1.2"/></svg>';
 }
 function esc(s) { return String(s).replace(/[&<>]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;'}[c])); }
+function ms(sec) { return sec >= 0.0995 ? (sec).toFixed(2) + 's' : (sec * 1e3).toFixed(1) + 'ms'; }
+function waterfall(order, wf) {
+  if (!wf) return '';
+  const total = order.reduce((a, st) => a + (wf[st] || 0), 0);
+  if (total <= 0) return '';
+  return '<span class="wf" title="' +
+    order.map(st => st + ': ' + ms(wf[st] || 0)).join(', ') + '">' +
+    order.map(st => '<div class="wf-' + st + '" style="width:' +
+      (100 * (wf[st] || 0) / total).toFixed(1) + '%"></div>').join('') + '</span>';
+}
+async function refreshLatency() {
+  const lr = await fetch('cluster/latency');
+  if (!lr.ok) { document.getElementById('lat-meta').textContent = 'latency attribution not enabled'; return; }
+  const l = await lr.json();
+  const order = l.stage_order || [];
+  document.getElementById('lat-meta').textContent =
+    'end-to-end: ' + l.e2e.count + ' spans · mean ' + ms(l.e2e.mean_seconds) +
+    ' · p99 ' + ms(l.e2e.p99_seconds) + (l.incomplete ? ' · ' + l.incomplete + ' incomplete' : '');
+  document.getElementById('slo').innerHTML = (l.slo || []).map(v =>
+    '<span class="slo ' + (v.breached ? 'bad' : (v.evaluated ? 'ok' : 'idle')) + '">' + esc(v.rule) +
+    ('value' in v ? ' · ' + v.value.toFixed(3) : '') + '</span>').join('');
+  document.getElementById('lat-legend').innerHTML = order.map(st =>
+    '<span><span class="swatch wf-' + st + '"></span>' + st + '</span>').join('');
+  document.getElementById('lat-stages').innerHTML = order.map(st => {
+    const s = (l.stages || {})[st];
+    if (!s) return '';
+    return '<tr><td>' + st + '</td><td>' + (100 * s.share).toFixed(1) + '%</td>' +
+      '<td>' + ms(s.p50_seconds) + '</td><td>' + ms(s.p95_seconds) + '</td><td>' + ms(s.p99_seconds) + '</td></tr>';
+  }).join('');
+  document.getElementById('lat-queries').innerHTML = (l.queries || []).map(q =>
+    '<tr><td>' + esc(q.query) + '</td><td>' + esc(q.entity || '') + '</td>' +
+    '<td>' + waterfall(order, q.waterfall) + '</td>' +
+    '<td>' + ms(q.e2e.mean_seconds) + '</td><td>' + ms(q.e2e.p99_seconds) + '</td>' +
+    '<td>' + q.pr_measured.toFixed(2) + '</td>' +
+    '<td>' + ('pr_estimated' in q ? q.pr_estimated.toFixed(2) : '—') + '</td>' +
+    '<td>' + ('pr_drift' in q ? q.pr_drift.toFixed(2) : '—') + '</td></tr>').join('');
+}
 async function refresh() {
   try {
     const hr = await fetch('cluster/health');
@@ -148,6 +307,7 @@ async function refresh() {
       '<td class="' + (m.outcome === 'commit' ? 'ok' : 'bad') + '">' + esc(m.outcome) + '</td>' +
       '<td>' + m.state_bytes + 'B</td><td>' + m.replayed + '</td>' +
       '<td>' + m.pause_ms.toFixed(1) + 'ms</td><td>' + esc(m.reason || '') + '</td></tr>').join('');
+    await refreshLatency();
     const er = await fetch('events');
     if (er.ok) {
       const ev = await er.json();

@@ -19,6 +19,7 @@
 //	GET    /cluster           live ops view (HTML)
 //	GET    /cluster/metrics   merged cluster digest (stats plane must be enabled)
 //	GET    /cluster/health    per-entity health from digest freshness
+//	GET    /cluster/latency   latency attribution: waterfalls, measured PR, SLOs
 //	GET    /events            structured event journal (?since=&kind=)
 //	GET    /debug/pprof/      Go runtime profiling
 package httpapi
@@ -161,6 +162,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster", s.clusterPage)
 	mux.HandleFunc("GET /cluster/metrics", s.clusterMetrics)
 	mux.HandleFunc("GET /cluster/health", s.clusterHealth)
+	mux.HandleFunc("GET /cluster/latency", s.clusterLatency)
 	mux.HandleFunc("GET /events", s.events)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCollectorHistogramExposition: a collector-emitted HistSample must
+// render as a real Prometheus histogram family — cumulative _bucket
+// lines with trailing le labels, _sum, _count — and round-trip through
+// the strict parser.
+func TestCollectorHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{
+			Name: "sspd_latency_stage_seconds", Help: "Per-stage latency.",
+			Labels: []Label{L("stage", "network")},
+			Hist: &HistSample{
+				Bounds: []float64{0.001, 0.01, 0.1},
+				Counts: []uint64{2, 3, 0, 1}, // +Inf bucket last
+				Sum:    0.25,
+			},
+		})
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parser rejected exposition: %v\n%s", err, text)
+	}
+	var fam *PromFamily
+	for i := range fams {
+		if fams[i].Name == "sspd_latency_stage_seconds" {
+			fam = &fams[i]
+		}
+	}
+	if fam == nil {
+		t.Fatalf("family missing:\n%s", text)
+	}
+	if fam.Type != "histogram" {
+		t.Fatalf("family type = %q, want histogram", fam.Type)
+	}
+	want := map[string]float64{
+		`sspd_latency_stage_seconds_bucket{stage="network",le="0.001"}`: 2,
+		`sspd_latency_stage_seconds_bucket{stage="network",le="0.01"}`:  5,
+		`sspd_latency_stage_seconds_bucket{stage="network",le="0.1"}`:   5,
+		`sspd_latency_stage_seconds_bucket{stage="network",le="+Inf"}`:  6,
+		`sspd_latency_stage_seconds_sum{stage="network"}`:               0.25,
+		`sspd_latency_stage_seconds_count{stage="network"}`:             6,
+	}
+	for line, v := range want {
+		if !strings.Contains(text, line+" ") {
+			t.Errorf("exposition missing %q:\n%s", line, text)
+		}
+		_ = v
+	}
+	if len(fam.Samples) != len(want) {
+		t.Fatalf("family has %d samples, want %d", len(fam.Samples), len(want))
+	}
+}
+
+// TestCollectorHistogramMalformed: a Counts/Bounds length mismatch is
+// dropped rather than rendered broken.
+func TestCollectorHistogramMalformed(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "bad_hist", Hist: &HistSample{
+			Bounds: []float64{1}, Counts: []uint64{1}}})
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "bad_hist") {
+		t.Fatalf("malformed histogram sample was rendered:\n%s", b.String())
+	}
+}

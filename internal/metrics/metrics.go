@@ -181,6 +181,15 @@ func (h *Histogram) Max() float64 {
 
 // Quantile returns the q-quantile (0 <= q <= 1) estimated from the
 // reservoir, or 0 if the histogram is empty.
+//
+// Accuracy contract: while Count() <= the reservoir bound the quantile
+// is exact (read from every sample). Beyond it the reservoir degrades to
+// a uniform subsample and quantiles become *estimates* whose error grows
+// with the tail weight of the distribution; Estimated() (and
+// Snapshot.Estimated) report when that regime has been entered. Reservoir
+// quantiles from different histograms must never be averaged or merged —
+// use the latency package's fixed-boundary log-bucket Hist when a
+// distribution has to be combined across entities.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -219,6 +228,14 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
+// Estimated reports whether the histogram has outgrown its exact
+// reservoir: quantiles are uniform-subsample estimates from then on.
+func (h *Histogram) Estimated() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count > histogramReservoir
+}
+
 // Snapshot is a point-in-time summary of a histogram.
 type Snapshot struct {
 	Count int64
@@ -229,6 +246,9 @@ type Snapshot struct {
 	P50   float64
 	P95   float64
 	P99   float64
+	// Estimated marks quantiles computed after reservoir degradation:
+	// they are subsample estimates, not exact order statistics.
+	Estimated bool
 }
 
 // Snapshot returns a summary of the histogram. The whole summary is
@@ -238,7 +258,8 @@ type Snapshot struct {
 func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Estimated: h.count > histogramReservoir}
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
 	}

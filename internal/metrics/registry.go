@@ -56,8 +56,27 @@ type Sample struct {
 	Kind MetricKind
 	// Labels distinguish this series within the family.
 	Labels []Label
-	// Value is the sample value.
+	// Value is the sample value. Ignored when Hist is set.
 	Value float64
+	// Hist, when non-nil, renders this sample as a full Prometheus
+	// histogram series — cumulative `_bucket` lines with `le` labels,
+	// `_sum`, and `_count` — instead of a single Value line. The family
+	// is typed `histogram`; Kind is ignored.
+	Hist *HistSample
+}
+
+// HistSample is the histogram payload of a collector Sample: a
+// fixed-boundary bucketed distribution (the latency plane's mergeable
+// log-bucket histograms expose through this).
+type HistSample struct {
+	// Bounds are the finite upper boundaries, ascending. The +Inf bucket
+	// is implicit.
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) observation counts with the
+	// +Inf bucket last; len(Counts) == len(Bounds)+1.
+	Counts []uint64
+	// Sum is the sum of all observed values.
+	Sum float64
 }
 
 // Collector computes metrics at scrape time. Collectors let subsystems
@@ -368,10 +387,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if !validName(s.Name) {
 				return
 			}
-			ef := get(s.Name, s.Help, s.Kind.String())
 			sorted := make([]Label, len(s.Labels))
 			copy(sorted, s.Labels)
 			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+			if s.Hist != nil {
+				if len(s.Hist.Counts) != len(s.Hist.Bounds)+1 {
+					return
+				}
+				ef := get(s.Name, s.Help, "histogram")
+				var cum uint64
+				for i, b := range s.Hist.Bounds {
+					cum += s.Hist.Counts[i]
+					ef.lines = append(ef.lines, fmt.Sprintf("%s_bucket%s %d", s.Name,
+						renderLabels(sorted, L("le", formatValue(b))), cum))
+				}
+				cum += s.Hist.Counts[len(s.Hist.Bounds)]
+				ef.lines = append(ef.lines, fmt.Sprintf("%s_bucket%s %d", s.Name,
+					renderLabels(sorted, L("le", "+Inf")), cum))
+				ef.lines = append(ef.lines, fmt.Sprintf("%s_sum%s %s", s.Name,
+					renderLabels(sorted), formatValue(s.Hist.Sum)))
+				ef.lines = append(ef.lines, fmt.Sprintf("%s_count%s %d", s.Name,
+					renderLabels(sorted), cum))
+				return
+			}
+			ef := get(s.Name, s.Help, s.Kind.String())
 			ef.lines = append(ef.lines, fmt.Sprintf("%s%s %s", s.Name, renderLabels(sorted), formatValue(s.Value)))
 		})
 	}

@@ -20,6 +20,7 @@
 //	link.down / link.up
 //	decode.bad / decode.ok
 //	stats.enable
+//	slo.watch / slo.breach / slo.clear
 package obslog
 
 import (

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTruncatedSpanMarked(t *testing.T) {
+	tr := New(1, 8)
+	id := tr.Sample("s", 1, "src")
+	for i := 0; i < maxHopsPerSpan+5; i++ {
+		tr.Record(id, StageOperator, "frag")
+	}
+	span, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("span missing")
+	}
+	if !span.Truncated {
+		t.Fatal("span hit the hop cap but Truncated is not set")
+	}
+	if len(span.Hops) != maxHopsPerSpan {
+		t.Fatalf("hop list = %d, want capped at %d", len(span.Hops), maxHopsPerSpan)
+	}
+	if tr.Truncated.Value() != 1 {
+		t.Fatalf("Truncated counter = %d, want 1 (set once, not per dropped hop)", tr.Truncated.Value())
+	}
+	if tr.DroppedHops.Value() != 6 {
+		t.Fatalf("DroppedHops = %d, want 6", tr.DroppedHops.Value())
+	}
+	if short := tr.Recent(1); len(short) != 1 || !short[0].Truncated {
+		t.Fatal("Recent must carry the Truncated flag too")
+	}
+}
+
+func TestCompletionHookOnTerminalHops(t *testing.T) {
+	tr := New(1, 8)
+	type done struct {
+		span Span
+		hop  int
+	}
+	var got []done
+	tr.SetOnComplete(func(s Span, hop int) { got = append(got, done{s, hop}) })
+	id := tr.Sample("s", 1, "src")
+	tr.Record(id, StageRelay, "r")
+	tr.Record(id, StageDeliver, "d")
+	tr.Record(id, StageDelegate, "e")
+	tr.Record(id, StageOperator, "f")
+	if len(got) != 0 {
+		t.Fatalf("hook fired on non-terminal hops: %d", len(got))
+	}
+	tr.Record(id, StageResult, "q1")
+	tr.Record(id, StageOperator, "f2") // second query's fragment
+	tr.Record(id, StageResult, "q2")
+	tr.Record(id, StagePortal, "portal")
+	if len(got) != 3 {
+		t.Fatalf("hook fired %d times, want 3 (two results + portal)", len(got))
+	}
+	for _, d := range got {
+		if d.span.ID != id {
+			t.Fatalf("hook saw span %d, want %d", d.span.ID, id)
+		}
+		last := d.span.Hops[d.hop]
+		if last.Stage != StageResult && last.Stage != StagePortal {
+			t.Fatalf("hop index %d points at %q, want a terminal stage", d.hop, last.Stage)
+		}
+	}
+	if got[0].span.Hops[got[0].hop].Node != "q1" || got[1].span.Hops[got[1].hop].Node != "q2" {
+		t.Fatalf("result hops attribute wrong queries: %+v", got)
+	}
+	// The hook receives private copies: mutating one must not corrupt
+	// the tracer's span.
+	got[0].span.Hops[0].Node = "clobbered"
+	if s, _ := tr.Get(id); s.Hops[0].Node != "src" {
+		t.Fatal("hook span is not a private copy")
+	}
+}
+
+func TestCompletionHookOnEviction(t *testing.T) {
+	tr := New(1, 2)
+	var evicted []Span
+	var hops []int
+	tr.SetOnComplete(func(s Span, hop int) {
+		evicted = append(evicted, s)
+		hops = append(hops, hop)
+	})
+	a := tr.Sample("s", 1, "src") // will be evicted incomplete
+	tr.Record(a, StageRelay, "r")
+	b := tr.Sample("s", 2, "src") // completed before eviction
+	tr.Record(b, StageResult, "q")
+	tr.Sample("s", 3, "src") // evicts a → hook(-1)
+	tr.Sample("s", 4, "src") // evicts b → already completed, no hook
+	if len(evicted) != 2 {
+		t.Fatalf("hook fired %d times, want 2 (result + one incomplete eviction)", len(evicted))
+	}
+	if hops[0] < 0 || evicted[0].ID != b {
+		t.Fatalf("first firing should be b's result hop: id=%d hop=%d", evicted[0].ID, hops[0])
+	}
+	if hops[1] != -1 || evicted[1].ID != a {
+		t.Fatalf("eviction firing: id=%d hop=%d, want id=%d hop=-1", evicted[1].ID, hops[1], a)
+	}
+}
+
+// TestTracerStress is the satellite-3 interleaving test: Sample, Record,
+// Get, and Recent race against ring eviction and the completion hook
+// under -race. Every hop's node encodes the span ID it was recorded
+// against, so any hop landing on a recycled span ID is detected — in
+// live spans, in Recent snapshots, and in every span the completion hook
+// delivers.
+func TestTracerStress(t *testing.T) {
+	tr := New(1, 64) // small ring: constant eviction under 8 writers
+	var bad atomic.Int64
+	checkSpan := func(s Span) {
+		for _, h := range s.Hops[1:] {
+			if h.Node != strconv.FormatUint(uint64(s.ID), 10) {
+				bad.Add(1)
+			}
+		}
+	}
+	tr.SetOnComplete(func(s Span, hop int) {
+		if hop >= len(s.Hops) {
+			bad.Add(1)
+			return
+		}
+		checkSpan(s)
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				id := tr.Sample("s", uint64(i), "src")
+				node := strconv.FormatUint(uint64(id), 10)
+				tr.Record(id, StageRelay, node)
+				tr.Record(id, StageDeliver, node)
+				tr.Record(id, StageOperator, node)
+				if i%3 == 0 {
+					tr.Record(id, StageResult, node)
+				}
+				if s, ok := tr.Get(id); ok {
+					checkSpan(s)
+				}
+				if i%64 == 0 {
+					for _, s := range tr.Recent(16) {
+						checkSpan(s)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, s := range tr.Recent(64) {
+		checkSpan(s)
+	}
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d hops attributed to a recycled span ID", n)
+	}
+	// Accounting stays consistent: every sampled span was either still
+	// buffered or evicted.
+	if tr.Sampled.Value() != int64(tr.Len())+tr.Evicted.Value() {
+		t.Fatalf("sampled %d != buffered %d + evicted %d",
+			tr.Sampled.Value(), tr.Len(), tr.Evicted.Value())
+	}
+}
+
+func ExampleTracer_SetOnComplete() {
+	tr := New(1, 8)
+	tr.SetOnComplete(func(s Span, hop int) {
+		fmt.Printf("span %d done at %s\n", s.ID, s.Hops[hop].Stage)
+	})
+	id := tr.Sample("quotes", 1, "src:quotes")
+	tr.Record(id, StageRelay, "e01:quotes")
+	tr.Record(id, StageResult, "q001")
+	// Output: span 1 done at result
+}

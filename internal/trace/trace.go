@@ -60,11 +60,30 @@ type Span struct {
 	Seq    uint64    `json:"seq"`
 	Start  time.Time `json:"start"`
 	Hops   []Hop     `json:"hops"`
+	// Truncated is set when the span hit maxHopsPerSpan and later hops
+	// were dropped: the hop list is a prefix of the real journey, not
+	// the whole of it. Surfaced in /traces/{id} JSON so a partial trace
+	// is never mistaken for a complete one.
+	Truncated bool `json:"truncated,omitempty"`
+
+	// completed tracks whether a terminal hop (result/portal) has fired
+	// the tracer's completion hook for this span; eviction then skips
+	// its partial-span callback. Internal bookkeeping, not serialized.
+	completed bool
 }
 
 // maxHopsPerSpan bounds a single span's hop list; a tuple fanning out to
 // very many queries stops recording rather than growing without bound.
 const maxHopsPerSpan = 256
+
+// CompleteFunc receives a finished span from the tracer's completion
+// hook. hop is the index of the terminal hop (StageResult or
+// StagePortal) that completed the span, or -1 when the span is being
+// finalized by ring eviction without ever reaching a terminal stage.
+// The span is a private copy; the callback runs outside the tracer's
+// lock and may call back into the tracer freely, but must not block:
+// it runs on whatever goroutine recorded the hop.
+type CompleteFunc func(s Span, hop int)
 
 // Tracer samples tuples at a configurable rate and stores their spans in
 // a bounded ring buffer. All methods are safe for concurrent use.
@@ -73,18 +92,21 @@ type Tracer struct {
 	tick  atomic.Uint64
 	next  atomic.Uint64 // span ID allocator (first ID is 1)
 
-	mu    sync.Mutex
-	slots []Span
-	index map[SpanID]int
-	head  int // next slot to overwrite
+	mu       sync.Mutex
+	slots    []Span
+	index    map[SpanID]int
+	head     int // next slot to overwrite
+	complete CompleteFunc
 
 	// Sampled counts spans started; Evicted counts spans overwritten by
 	// ring wraparound; DroppedHops counts hops that arrived for spans no
-	// longer (or never) in the buffer.
+	// longer (or never) in the buffer; Truncated counts spans that hit
+	// the per-span hop cap (each also carries Span.Truncated).
 	Sampled     metrics.Counter
 	Evicted     metrics.Counter
 	Hops        metrics.Counter
 	DroppedHops metrics.Counter
+	Truncated   metrics.Counter
 }
 
 // DefaultCapacity is the span ring size used when capacity <= 0.
@@ -110,6 +132,22 @@ func New(every, capacity int) *Tracer {
 // SampleEvery returns the sampling divisor (0 = disabled).
 func (t *Tracer) SampleEvery() int { return int(t.every) }
 
+// SetOnComplete installs the span-completion hook (nil clears it). The
+// hook fires once per terminal hop recorded (StageResult and
+// StagePortal — a tuple fanning out to several queries completes once
+// per result), and once at ring eviction for spans that never reached a
+// terminal stage (hop == -1), so every sampled span is eventually
+// surfaced exactly as far as it got. The latency attribution plane is
+// the intended consumer.
+func (t *Tracer) SetOnComplete(fn CompleteFunc) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.complete = fn
+	t.mu.Unlock()
+}
+
 // Sample decides whether to trace the next tuple. It returns a fresh
 // span ID recording a StagePublish hop at node, or 0 when the tuple is
 // not sampled.
@@ -124,7 +162,6 @@ func (t *Tracer) Sample(streamName string, seq uint64, node string) SpanID {
 	now := time.Now()
 	t.Sampled.Inc()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	span := Span{
 		ID:     id,
 		Stream: streamName,
@@ -132,6 +169,8 @@ func (t *Tracer) Sample(streamName string, seq uint64, node string) SpanID {
 		Start:  now,
 		Hops:   []Hop{{Stage: StagePublish, Node: node, At: now}},
 	}
+	var evicted Span
+	var finalize CompleteFunc
 	if len(t.slots) < cap(t.slots) {
 		t.index[id] = len(t.slots)
 		t.slots = append(t.slots, span)
@@ -139,33 +178,65 @@ func (t *Tracer) Sample(streamName string, seq uint64, node string) SpanID {
 		old := t.slots[t.head]
 		delete(t.index, old.ID)
 		t.Evicted.Inc()
+		// A span leaving the ring without ever reaching a terminal stage
+		// is finalized as-is: the completion hook still sees the partial
+		// journey (hop == -1) instead of it silently vanishing.
+		if !old.completed && t.complete != nil {
+			evicted, finalize = old, t.complete
+		}
 		t.slots[t.head] = span
 		t.index[id] = t.head
 		t.head = (t.head + 1) % cap(t.slots)
+	}
+	t.mu.Unlock()
+	if finalize != nil {
+		finalize(copySpan(evicted), -1)
 	}
 	return id
 }
 
 // Record appends a hop to a live span. Unknown spans (evicted, or from a
-// tracer restarted mid-flight) are counted and dropped.
+// tracer restarted mid-flight) are counted and dropped. A span that hits
+// maxHopsPerSpan is marked Truncated (once) so readers can tell a capped
+// trace from a complete one. Terminal hops (StageResult, StagePortal)
+// fire the completion hook, outside the tracer's lock.
 func (t *Tracer) Record(id SpanID, stage, node string) {
 	if t == nil || id == 0 {
 		return
 	}
 	now := time.Now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	idx, ok := t.index[id]
 	if !ok {
+		t.mu.Unlock()
 		t.DroppedHops.Inc()
 		return
 	}
 	if len(t.slots[idx].Hops) >= maxHopsPerSpan {
+		first := !t.slots[idx].Truncated
+		t.slots[idx].Truncated = true
+		t.mu.Unlock()
 		t.DroppedHops.Inc()
+		if first {
+			t.Truncated.Inc()
+		}
 		return
 	}
 	t.slots[idx].Hops = append(t.slots[idx].Hops, Hop{Stage: stage, Node: node, At: now})
+	var done Span
+	var hop int
+	var fire CompleteFunc
+	if (stage == StageResult || stage == StagePortal) && t.complete != nil {
+		t.slots[idx].completed = true
+		done = copySpan(t.slots[idx])
+		hop = len(done.Hops) - 1
+		fire = t.complete
+	}
+	t.mu.Unlock()
 	t.Hops.Inc()
+	if fire != nil {
+		fire(done, hop)
+	}
 }
 
 // Get returns a copy of one span.

@@ -8,6 +8,7 @@ import (
 	"sspd/internal/dissemination"
 	"sspd/internal/engine"
 	"sspd/internal/entity"
+	"sspd/internal/latency"
 	"sspd/internal/obslog"
 	"sspd/internal/operator"
 	"sspd/internal/querygraph"
@@ -236,3 +237,40 @@ var EventKindMatches = obslog.KindMatches
 // those at or above min as slog text lines to w. Pass it via
 // Options.Logger to control a federation's event output.
 var NewObsLogger = obslog.NewText
+
+// Latency-attribution surface (DESIGN.md §11): span-derived stage
+// histograms, the measured performance ratio, and SLO watchdogs,
+// enabled on a federation with Federation.EnableLatencyAttribution
+// after EnableTracing and queried via Federation.ClusterLatency,
+// Federation.SLOStatus, and GET /cluster/latency.
+type (
+	// LatencyAttribution is a mergeable attribution snapshot: the
+	// end-to-end delay distribution, per-stage histograms, and
+	// per-query measured-PR rows.
+	LatencyAttribution = latency.Attribution
+	// LatencyBreakdown is one completed span decomposed into per-stage
+	// wall-clock deltas that telescope to the end-to-end delay.
+	LatencyBreakdown = latency.Breakdown
+	// LatencyHistSnapshot is a fixed-boundary log-bucket histogram
+	// snapshot (exact bucket-wise merging, quantiles within one bucket).
+	LatencyHistSnapshot = latency.HistSnapshot
+	// QueryLatency is one query's measured latency summary, including
+	// its stage waterfall and measured performance ratio.
+	QueryLatency = latency.QueryLatency
+	// SLORule is one parsed declarative latency objective.
+	SLORule = latency.Rule
+	// SLOVerdict is one rule's state after a watchdog evaluation.
+	SLOVerdict = latency.Verdict
+)
+
+// Latency stage names (the pipeline segments spans decompose into) and
+// the default SLO rule set applied when EnableLatencyAttribution is
+// called without rules.
+var (
+	LatencyStages   = latency.Stages
+	DefaultSLORules = core.DefaultSLORules
+)
+
+// ParseSLORule parses one declarative rule: "p99_end_to_end < 250ms",
+// "pr_max < 3", or "stage_share(network) < 60%".
+var ParseSLORule = latency.ParseRule
