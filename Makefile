@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench
+.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench
 
-check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency
+check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,14 @@ bench-migration:
 # more than one log-bucket from the oracle.
 bench-latency:
 	$(GO) run ./cmd/sspd-bench -latency BENCH_latency.json
+
+# Regenerates BENCH_recovery.json: 64 stateful queries hard-killed
+# mid-stream and recovered from quorum-acked checkpoints. Fails on any
+# lost or duplicated committed result, any stateless fallback, a
+# crash-to-committed interval over 2s, or replay amplification over 2x
+# the outage traffic.
+bench-recovery:
+	$(GO) run ./cmd/sspd-bench -recovery BENCH_recovery.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

@@ -1,0 +1,146 @@
+// Chunked wire codec: an encoded record is split into bounded frames so
+// a multi-megabyte join synopsis never monopolizes the control plane in
+// one message. Frames of one transfer share an xfer ID; the receiving
+// Assembler tolerates out-of-order arrival (the reliable layer retries
+// independently per frame) and rejects torn transfers — inconsistent
+// totals or lengths across frames of the same xfer.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// DefaultChunkSize is the frame payload bound used when a caller
+	// passes none.
+	DefaultChunkSize = 8 << 10
+	// maxAssemblies bounds concurrently half-built transfers per peer;
+	// the oldest is evicted beyond it (its sender's next checkpoint
+	// supersedes the lost one).
+	maxAssemblies = 64
+	chunkHeader   = 8 + 2 + 2 + 4 // xfer | index | total | record length
+)
+
+// EncodeChunks splits an encoded record into frames:
+// u64 xfer | u16 index | u16 total | u32 len(rec) | payload.
+func EncodeChunks(xfer uint64, rec []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	total := (len(rec) + chunkSize - 1) / chunkSize
+	if total == 0 {
+		total = 1
+	}
+	frames := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(rec) {
+			hi = len(rec)
+		}
+		frame := make([]byte, 0, chunkHeader+hi-lo)
+		frame = binary.LittleEndian.AppendUint64(frame, xfer)
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(i))
+		frame = binary.LittleEndian.AppendUint16(frame, uint16(total))
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(rec)))
+		frame = append(frame, rec[lo:hi]...)
+		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// Assembler rebuilds records from frames, keyed by (sender, xfer) so
+// concurrent transfers from different peers cannot collide. Safe for a
+// single-goroutine receiver (the transport delivers one handler call at
+// a time per endpoint); the owning Replica serializes access.
+type Assembler struct {
+	pend  map[asmKey]*asmState
+	order []asmKey // insertion order, for bounded eviction
+}
+
+type asmKey struct {
+	from string
+	xfer uint64
+}
+
+type asmState struct {
+	total  int
+	recLen int
+	parts  map[int][]byte
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{pend: make(map[asmKey]*asmState)}
+}
+
+// Add ingests one frame from a sender. When the frame completes its
+// transfer, the reassembled record bytes are returned with done=true.
+// A structurally damaged or torn frame returns an error wrapping
+// ErrCorrupt and drops the whole transfer.
+func (a *Assembler) Add(from string, frame []byte) (rec []byte, done bool, err error) {
+	if len(frame) < chunkHeader {
+		return nil, false, fmt.Errorf("%w: truncated chunk frame (%d bytes)", ErrCorrupt, len(frame))
+	}
+	xfer := binary.LittleEndian.Uint64(frame)
+	index := int(binary.LittleEndian.Uint16(frame[8:]))
+	total := int(binary.LittleEndian.Uint16(frame[10:]))
+	recLen := int(binary.LittleEndian.Uint32(frame[12:]))
+	payload := frame[chunkHeader:]
+	if total == 0 || index >= total {
+		return nil, false, fmt.Errorf("%w: chunk index %d of %d", ErrCorrupt, index, total)
+	}
+	if recLen > MaxRecordSize {
+		return nil, false, fmt.Errorf("%w: record length %d exceeds cap", ErrCorrupt, recLen)
+	}
+	key := asmKey{from: from, xfer: xfer}
+	st := a.pend[key]
+	if st == nil {
+		st = &asmState{total: total, recLen: recLen, parts: make(map[int][]byte, total)}
+		a.pend[key] = st
+		a.order = append(a.order, key)
+		a.evict()
+	} else if st.total != total || st.recLen != recLen {
+		delete(a.pend, key)
+		return nil, false, fmt.Errorf("%w: torn transfer %d from %s (total %d/%d, len %d/%d)",
+			ErrCorrupt, xfer, from, total, st.total, recLen, st.recLen)
+	}
+	if _, dup := st.parts[index]; !dup {
+		part := make([]byte, len(payload))
+		copy(part, payload)
+		st.parts[index] = part
+	}
+	if len(st.parts) < st.total {
+		return nil, false, nil
+	}
+	delete(a.pend, key)
+	out := make([]byte, 0, st.recLen)
+	for i := 0; i < st.total; i++ {
+		out = append(out, st.parts[i]...)
+	}
+	if len(out) != st.recLen {
+		return nil, false, fmt.Errorf("%w: torn transfer %d from %s (reassembled %d of %d bytes)",
+			ErrCorrupt, xfer, from, len(out), st.recLen)
+	}
+	return out, true, nil
+}
+
+// evict drops the oldest half-built transfer once too many accumulate.
+func (a *Assembler) evict() {
+	for len(a.pend) > maxAssemblies && len(a.order) > 0 {
+		key := a.order[0]
+		a.order = a.order[1:]
+		delete(a.pend, key)
+	}
+	// Compact the order list of keys already completed or evicted.
+	if len(a.order) > 4*maxAssemblies {
+		kept := a.order[:0]
+		for _, k := range a.order {
+			if _, live := a.pend[k]; live {
+				kept = append(kept, k)
+			}
+		}
+		a.order = kept
+	}
+}

@@ -1,0 +1,269 @@
+// Package checkpoint implements sspd's durable query checkpoints
+// (DESIGN.md §12): self-verifying per-query state records with a
+// monotonic sequence number, a chunked wire codec for moving them over
+// the control plane, a newest-seq-wins store, and a replicated store
+// node (Replica) that quorum-appends records to peer entities over the
+// reliable control plane and anti-entropy-repairs lagging replicas.
+//
+// A Record is the unit of durability: everything needed to rebuild one
+// query on any entity — the declarative spec, the serialized operator
+// state per fragment, and the per-stream high-water marks ("every tuple
+// with Seq <= mark is reflected in this state"). Records are framed
+// with a magic/version header and a trailing CRC32 so a torn or
+// bit-flipped record is rejected at decode, never restored.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Wire-format constants.
+const (
+	recordMagic   uint32 = 0x53504b43 // "CKPS" little-endian
+	recordVersion byte   = 1
+	// maxFieldLen bounds every variable-length field, mirroring the
+	// stream codec's sanity cap.
+	maxFieldLen = 1 << 20
+	// MaxRecordSize bounds a whole encoded record (and therefore what
+	// the chunk assembler will buffer for one transfer).
+	MaxRecordSize = 64 << 20
+)
+
+// ErrCorrupt is wrapped by every decode failure: CRC mismatch,
+// truncation, bad magic/version, or oversized fields. Callers branch on
+// it with errors.Is and journal the specific reason from the message.
+var ErrCorrupt = errors.New("checkpoint: corrupt record")
+
+// OperatorState is one operator's serialized state inside a fragment.
+type OperatorState struct {
+	Name string
+	Data []byte
+}
+
+// FragmentState is one query fragment's operator states, keyed by the
+// deterministic fragment ID (engine.SplitSpec derives the same IDs from
+// the same spec on every entity).
+type FragmentState struct {
+	ID  string
+	Ops []OperatorState
+}
+
+// Record is one durable query checkpoint.
+type Record struct {
+	// Query is the checkpointed query's ID ("__ledger__" is reserved
+	// for the coordinator's accounting ledger).
+	Query string
+	// Entity hosted the query when the checkpoint was taken.
+	Entity string
+	// Seq is the query's monotonic checkpoint sequence; replicas keep
+	// only the newest Seq per query (newest-seq-wins).
+	Seq uint64
+	// Spec is the JSON-encoded engine.QuerySpec, so recovery can sanity
+	// check the record against the coordinator's books.
+	Spec []byte
+	// Marks holds the per-stream high-water sequence: every tuple with
+	// t.Seq <= Marks[t.Stream] is reflected in the state below, so
+	// recovery replays only the suffix above the mark.
+	Marks map[string]uint64
+	// Frags is the serialized operator state per fragment.
+	Frags []FragmentState
+}
+
+// StateBytes returns the serialized operator-state payload size.
+func (r Record) StateBytes() int {
+	n := 0
+	for _, fs := range r.Frags {
+		for _, os := range fs.Ops {
+			n += len(os.Name) + len(os.Data)
+		}
+	}
+	return n
+}
+
+// AppendRecord encodes r onto dst: magic, version, length-framed
+// fields (marks sorted by stream for a deterministic encoding), and a
+// trailing CRC32 (IEEE) over everything preceding it.
+func AppendRecord(dst []byte, r Record) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, recordMagic)
+	dst = append(dst, recordVersion)
+	dst = appendStr16(dst, r.Query)
+	dst = appendStr16(dst, r.Entity)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = appendBytes32(dst, r.Spec)
+	streams := make([]string, 0, len(r.Marks))
+	for s := range r.Marks {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(streams)))
+	for _, s := range streams {
+		dst = appendStr16(dst, s)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Marks[s])
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Frags)))
+	for _, fs := range r.Frags {
+		dst = appendStr16(dst, fs.ID)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(fs.Ops)))
+		for _, os := range fs.Ops {
+			dst = appendStr16(dst, os.Name)
+			dst = appendBytes32(dst, os.Data)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// EncodeRecord is AppendRecord into a fresh buffer.
+func EncodeRecord(r Record) []byte {
+	return AppendRecord(nil, r)
+}
+
+// DecodeRecord parses and verifies one encoded record. Any structural
+// damage — truncation, trailing garbage, CRC mismatch, bad header —
+// returns an error wrapping ErrCorrupt.
+func DecodeRecord(buf []byte) (Record, error) {
+	var r Record
+	if len(buf) < 4+1+4 {
+		return r, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return r, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
+	}
+	d := decoder{buf: body}
+	if magic := d.u32(); magic != recordMagic {
+		return r, fmt.Errorf("%w: bad magic %08x", ErrCorrupt, magic)
+	}
+	if v := d.u8(); v != recordVersion {
+		return r, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	r.Query = d.str16()
+	r.Entity = d.str16()
+	r.Seq = d.u64()
+	r.Spec = d.bytes32()
+	if n := int(d.u16()); n > 0 {
+		r.Marks = make(map[string]uint64, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			s := d.str16()
+			r.Marks[s] = d.u64()
+		}
+	}
+	nf := int(d.u16())
+	for i := 0; i < nf && d.err == nil; i++ {
+		fs := FragmentState{ID: d.str16()}
+		no := int(d.u16())
+		for j := 0; j < no && d.err == nil; j++ {
+			fs.Ops = append(fs.Ops, OperatorState{Name: d.str16(), Data: d.bytes32()})
+		}
+		r.Frags = append(r.Frags, fs)
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(body) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.off)
+	}
+	return r, nil
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes32(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// decoder is a bounds-checked cursor; the first failure sticks in err
+// and every later read returns zero values.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated at offset %d (need %d of %d)",
+			ErrCorrupt, d.off, n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str16() string {
+	n := int(d.u16())
+	if n > maxFieldLen {
+		d.err = fmt.Errorf("%w: string length %d exceeds cap", ErrCorrupt, n)
+		return ""
+	}
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes32() []byte {
+	n := int(d.u32())
+	if n > maxFieldLen {
+		d.err = fmt.Errorf("%w: blob length %d exceeds cap", ErrCorrupt, n)
+		return nil
+	}
+	if !d.need(n) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += n
+	return out
+}

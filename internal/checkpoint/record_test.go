@@ -1,0 +1,202 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Query:  "q1",
+		Entity: "e1",
+		Seq:    7,
+		Spec:   []byte(`{"id":"q1"}`),
+		Marks:  map[string]uint64{"trades": 120, "quotes": 95},
+		Frags: []FragmentState{
+			{ID: "q1#0", Ops: []OperatorState{
+				{Name: "window", Data: []byte{1, 2, 3}},
+				{Name: "agg", Data: []byte{9}},
+			}},
+			{ID: "q1#1", Ops: []OperatorState{
+				{Name: "join", Data: bytes.Repeat([]byte{0xAB}, 300)},
+			}},
+		},
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Query != b.Query || a.Entity != b.Entity || a.Seq != b.Seq ||
+		!bytes.Equal(a.Spec, b.Spec) || len(a.Marks) != len(b.Marks) ||
+		len(a.Frags) != len(b.Frags) {
+		return false
+	}
+	for s, v := range a.Marks {
+		if b.Marks[s] != v {
+			return false
+		}
+	}
+	for i := range a.Frags {
+		if a.Frags[i].ID != b.Frags[i].ID || len(a.Frags[i].Ops) != len(b.Frags[i].Ops) {
+			return false
+		}
+		for j := range a.Frags[i].Ops {
+			if a.Frags[i].Ops[j].Name != b.Frags[i].Ops[j].Name ||
+				!bytes.Equal(a.Frags[i].Ops[j].Data, b.Frags[i].Ops[j].Data) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	want := sampleRecord()
+	got, err := DecodeRecord(EncodeRecord(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !recordsEqual(want, got) {
+		t.Fatalf("roundtrip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestRecordRoundtripEmpty(t *testing.T) {
+	want := Record{Query: "q", Entity: "e", Seq: 1}
+	got, err := DecodeRecord(EncodeRecord(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !recordsEqual(want, got) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", want, got)
+	}
+}
+
+// A single flipped bit anywhere in the record must fail the CRC — no
+// bit-flipped checkpoint is ever restorable.
+func TestRecordCRCFlip(t *testing.T) {
+	enc := EncodeRecord(sampleRecord())
+	for _, off := range []int{0, 5, len(enc) / 2, len(enc) - 5} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: want ErrCorrupt, got %v", off, err)
+		}
+	}
+}
+
+// Every truncation point must be rejected, never panic or return a
+// partial record.
+func TestRecordTruncation(t *testing.T) {
+	enc := EncodeRecord(sampleRecord())
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeRecord(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: want ErrCorrupt, got %v", n, err)
+		}
+	}
+}
+
+func TestRecordTrailingGarbage(t *testing.T) {
+	enc := EncodeRecord(sampleRecord())
+	// Valid CRC over extended body is vanishingly unlikely; force the
+	// interesting path by recomputing nothing — extra bytes after the
+	// CRC break the CRC check itself.
+	bad := append(append([]byte(nil), enc...), 0, 0, 0)
+	if _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestChunkRoundtripOutOfOrder(t *testing.T) {
+	enc := EncodeRecord(sampleRecord())
+	frames := EncodeChunks(42, enc, 64)
+	if len(frames) < 3 {
+		t.Fatalf("want multiple frames, got %d", len(frames))
+	}
+	a := NewAssembler()
+	// Deliver in reverse, with a duplicate in the middle.
+	for i := len(frames) - 1; i >= 0; i-- {
+		rec, done, err := a.Add("peer", frames[i])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if i > 0 && done {
+			t.Fatalf("done before final frame")
+		}
+		if i == len(frames)/2 {
+			if _, _, err := a.Add("peer", frames[i]); err != nil {
+				t.Fatalf("duplicate frame: %v", err)
+			}
+		}
+		if i == 0 {
+			if !done {
+				t.Fatalf("not done after all frames")
+			}
+			if !bytes.Equal(rec, enc) {
+				t.Fatalf("reassembly mismatch: %d vs %d bytes", len(rec), len(enc))
+			}
+		}
+	}
+}
+
+// Frames of one transfer disagreeing about total/length are a torn
+// write: the whole transfer must be dropped with ErrCorrupt.
+func TestChunkTornTransfer(t *testing.T) {
+	enc := EncodeRecord(sampleRecord())
+	frames := EncodeChunks(7, enc, 64)
+	a := NewAssembler()
+	if _, _, err := a.Add("peer", frames[0]); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	torn := append([]byte(nil), frames[1]...)
+	torn[10]++ // bump the total field
+	if _, _, err := a.Add("peer", torn); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn total: want ErrCorrupt, got %v", err)
+	}
+	// The transfer was dropped; replaying it cleanly still succeeds.
+	for i, f := range frames {
+		rec, done, err := a.Add("peer", f)
+		if err != nil {
+			t.Fatalf("replayed frame %d: %v", i, err)
+		}
+		if i == len(frames)-1 && (!done || !bytes.Equal(rec, enc)) {
+			t.Fatalf("clean replay after torn transfer failed")
+		}
+	}
+}
+
+func TestChunkTruncatedFrame(t *testing.T) {
+	a := NewAssembler()
+	if _, _, err := a.Add("peer", []byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short frame: want ErrCorrupt, got %v", err)
+	}
+	frames := EncodeChunks(1, EncodeRecord(sampleRecord()), 64)
+	bad := append([]byte(nil), frames[0]...)
+	bad[8], bad[9] = 0xFF, 0xFF // index far beyond total
+	if _, _, err := a.Add("peer", bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("index >= total: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestStoreNewestSeqWins(t *testing.T) {
+	s := NewStore()
+	r5 := Record{Query: "q", Seq: 5}
+	if got := s.Put(r5); got != Stored {
+		t.Fatalf("first put: %v", got)
+	}
+	if got := s.Put(Record{Query: "q", Seq: 5}); got != Duplicate {
+		t.Fatalf("same seq: %v", got)
+	}
+	if got := s.Put(Record{Query: "q", Seq: 3}); got != Stale {
+		t.Fatalf("older seq: %v", got)
+	}
+	if got := s.Put(Record{Query: "q", Seq: 9}); got != Stored {
+		t.Fatalf("newer seq: %v", got)
+	}
+	if rec, ok := s.Get("q"); !ok || rec.Seq != 9 {
+		t.Fatalf("held %v %v, want seq 9", rec, ok)
+	}
+	if s.Seq("missing") != 0 {
+		t.Fatalf("absent query should report seq 0")
+	}
+}

@@ -1,0 +1,261 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/obslog"
+	"sspd/internal/simnet"
+)
+
+// testLogger returns a journal-only logger plus its journal, so tests
+// can assert which event kinds were recorded.
+func testLogger() (*obslog.Logger, *obslog.Journal) {
+	j := obslog.NewJournal(256)
+	return obslog.New(j, nil), j
+}
+
+func countKind(j *obslog.Journal, kind string) int {
+	n := 0
+	for _, e := range j.Since(0, kind) {
+		_ = e
+		n++
+	}
+	return n
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !cond() {
+		t.Fatalf("condition not reached within %v", d)
+	}
+}
+
+func newReplicaT(t *testing.T, net simnet.Transport, id string, cfg ReplicaConfig) *Replica {
+	t.Helper()
+	r, err := NewReplica(net, simnet.NodeID(id), nil, cfg)
+	if err != nil {
+		t.Fatalf("replica %s: %v", id, err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+// Quorum must fire exactly once, when the configured number of distinct
+// peers have acked the record.
+func TestReplicateQuorum(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	log, _ := testLogger()
+	var mu sync.Mutex
+	fired := 0
+	firedAcks := 0
+	writer := newReplicaT(t, net, "w/ckpt", ReplicaConfig{
+		Quorum: 2, Log: log,
+		OnQuorum: func(rec Record, acks int) {
+			mu.Lock()
+			fired++
+			firedAcks = acks
+			mu.Unlock()
+		},
+	})
+	newReplicaT(t, net, "a/ckpt", ReplicaConfig{Log: log})
+	newReplicaT(t, net, "b/ckpt", ReplicaConfig{Log: log})
+	newReplicaT(t, net, "c/ckpt", ReplicaConfig{Log: log})
+
+	rec := sampleRecord()
+	wire, err := writer.Replicate(rec, []simnet.NodeID{"a/ckpt", "b/ckpt", "c/ckpt"})
+	if err != nil {
+		t.Fatalf("replicate: %v", err)
+	}
+	if wire <= 0 {
+		t.Fatalf("no bytes on the wire")
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fired > 0
+	})
+	net.Quiesce(time.Second)
+	mu.Lock()
+	if fired != 1 {
+		t.Fatalf("quorum fired %d times, want exactly 1", fired)
+	}
+	if firedAcks < 2 {
+		t.Fatalf("quorum fired with %d acks, want >= 2", firedAcks)
+	}
+	mu.Unlock()
+}
+
+// A corrupt record must be rejected, counted, journaled as
+// ckpt.corrupt, and never acked or stored.
+func TestReplicaRejectsCorrupt(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	log, j := testLogger()
+	stored := make(chan Record, 1)
+	rep := newReplicaT(t, net, "a/ckpt", ReplicaConfig{
+		Log:      log,
+		OnRecord: func(rec Record, from simnet.NodeID, res PutResult) { stored <- rec },
+	})
+	// The replica's only send path back to the writer is the ack, so
+	// any reliable envelope arriving here would be one.
+	var ackMu sync.Mutex
+	acks := 0
+	if err := net.Register("w/ckpt", func(m simnet.Message) {
+		if m.Kind == simnet.KindReliable {
+			ackMu.Lock()
+			acks++
+			ackMu.Unlock()
+		}
+	}); err != nil {
+		t.Fatalf("register writer: %v", err)
+	}
+
+	enc := EncodeRecord(sampleRecord())
+	enc[len(enc)/2] ^= 0x01 // CRC now fails
+	for _, frame := range EncodeChunks(1, enc, 64) {
+		if err := net.Send("w/ckpt", "a/ckpt", KindChunk, frame); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	net.Quiesce(2 * time.Second)
+	if rep.Corrupt.Value() == 0 {
+		t.Fatalf("corrupt record not counted")
+	}
+	if countKind(j, "ckpt.corrupt") == 0 {
+		t.Fatalf("corrupt record not journaled as ckpt.corrupt")
+	}
+	ackMu.Lock()
+	gotAcks := acks
+	ackMu.Unlock()
+	if gotAcks != 0 {
+		t.Fatalf("corrupt record was acked %d times", gotAcks)
+	}
+	if rep.Store().Len() != 0 {
+		t.Fatalf("corrupt record was stored")
+	}
+	select {
+	case rec := <-stored:
+		t.Fatalf("OnRecord fired for corrupt record %+v", rec)
+	default:
+	}
+}
+
+// A stale-seq replay must be rejected by the store (the newer state
+// survives), journaled, but still acked — the replica durably covers
+// that sequence.
+func TestReplicaRejectsStaleSeq(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	log, j := testLogger()
+	writer := newReplicaT(t, net, "w/ckpt", ReplicaConfig{Quorum: 1, Log: log})
+	rep := newReplicaT(t, net, "a/ckpt", ReplicaConfig{Log: log})
+
+	newer := sampleRecord()
+	newer.Seq = 9
+	if _, err := writer.Replicate(newer, []simnet.NodeID{"a/ckpt"}); err != nil {
+		t.Fatalf("replicate newer: %v", err)
+	}
+	net.Quiesce(2 * time.Second)
+	older := sampleRecord()
+	older.Seq = 4
+	older.Marks = map[string]uint64{"trades": 1}
+	if _, err := writer.Replicate(older, []simnet.NodeID{"a/ckpt"}); err != nil {
+		t.Fatalf("replicate older: %v", err)
+	}
+	net.Quiesce(2 * time.Second)
+	if got := rep.Store().Seq("q1"); got != 9 {
+		t.Fatalf("stale replay overwrote store: seq %d, want 9", got)
+	}
+	if rep.StaleDrops.Value() == 0 {
+		t.Fatalf("stale replay not counted")
+	}
+	if countKind(j, "ckpt.corrupt") == 0 {
+		t.Fatalf("stale replay not journaled")
+	}
+}
+
+// Fetch must return the record from peers that hold it and KindNone
+// from peers that do not.
+func TestReplicaFetch(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	log, _ := testLogger()
+	var mu sync.Mutex
+	var gotRec []Record
+	var gotNone []simnet.NodeID
+	asker := newReplicaT(t, net, "portal/ckpt", ReplicaConfig{
+		Log: log,
+		OnRecord: func(rec Record, from simnet.NodeID, res PutResult) {
+			mu.Lock()
+			gotRec = append(gotRec, rec)
+			mu.Unlock()
+		},
+		OnNone: func(query string, from simnet.NodeID) {
+			mu.Lock()
+			gotNone = append(gotNone, from)
+			mu.Unlock()
+		},
+	})
+	holder := newReplicaT(t, net, "a/ckpt", ReplicaConfig{Log: log})
+	newReplicaT(t, net, "b/ckpt", ReplicaConfig{Log: log})
+	holder.Store().Put(sampleRecord())
+
+	asker.Fetch("q1", []simnet.NodeID{"a/ckpt", "b/ckpt"})
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(gotRec) == 1 && len(gotNone) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if gotRec[0].Seq != 7 || gotRec[0].Query != "q1" {
+		t.Fatalf("fetched %+v", gotRec[0])
+	}
+	if gotNone[0] != "b/ckpt" {
+		t.Fatalf("none from %s, want b/ckpt", gotNone[0])
+	}
+	if rec, ok := asker.Store().Get("q1"); !ok || rec.Seq != 7 {
+		t.Fatalf("fetched record not installed in asker store")
+	}
+}
+
+// Anti-entropy must converge both directions: the lagging side fetches
+// newer records, the ahead side pushes them.
+func TestReplicaAntiEntropy(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	log, _ := testLogger()
+	a := newReplicaT(t, net, "a/ckpt", ReplicaConfig{Log: log})
+	b := newReplicaT(t, net, "b/ckpt", ReplicaConfig{Log: log})
+
+	ahead := sampleRecord() // a holds q1@7
+	a.Store().Put(ahead)
+	behind := sampleRecord() // b holds q2@3; a has newer q2@5
+	behind.Query, behind.Seq = "q2", 3
+	b.Store().Put(behind)
+	newer2 := sampleRecord()
+	newer2.Query, newer2.Seq = "q2", 5
+	a.Store().Put(newer2)
+
+	a.AntiEntropy("b/ckpt", []string{"q1", "q2"})
+	waitFor(t, 2*time.Second, func() bool {
+		return b.Store().Seq("q1") == 7 && b.Store().Seq("q2") == 5
+	})
+	// And the reverse direction: b advertises, a pushes nothing it
+	// already has; b advertising a newer seq makes a fetch it.
+	future := sampleRecord()
+	future.Seq = 11
+	b.Store().Put(future)
+	b.AntiEntropy("a/ckpt", []string{"q1"})
+	waitFor(t, 2*time.Second, func() bool { return a.Store().Seq("q1") == 11 })
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sspd/internal/workload"
+)
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !cond() {
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// One checkpoint sweep must write a durable record, reach quorum, and
+// trim the replay ring up to the quorum-acked mark.
+func TestCheckpointTickQuorumAndTrim(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	log := &seqLog{}
+	if err := fed.SubmitQueryTo(countQuery("agg", 8), "e00", log.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err == nil {
+		t.Fatal("double enable accepted")
+	}
+
+	tick := workload.NewTicker(3, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(100)); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+
+	fed.CheckpointTick()
+	waitUntil(t, 2*time.Second, "checkpoint quorum", func() bool {
+		return fed.Checkpoints().QuorumAcked >= 1
+	})
+	fed.Settle(2 * time.Second)
+	info := fed.Checkpoints()
+	if !info.Enabled || info.Replicas != 2 || info.Quorum != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Writes < 2 { // query record + ledger record
+		t.Fatalf("writes = %d, want >= 2", info.Writes)
+	}
+	if info.WireBytes <= 0 {
+		t.Fatalf("no wire bytes accounted")
+	}
+	if info.Corrupt != 0 {
+		t.Fatalf("clean run counted %d corrupt records", info.Corrupt)
+	}
+	// Quorum ack advanced the replay-ring trim floor to the agg query's
+	// mark, which covers every published tuple.
+	waitUntil(t, 2*time.Second, "ring trim", func() bool {
+		return fed.Checkpoints().RingTuples == 0
+	})
+	// New traffic re-fills the ring until the next quorum-acked sweep.
+	if err := fed.Publish("quotes", tick.Batch(40)); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+	if got := fed.Checkpoints().RingTuples; got != 40 {
+		t.Fatalf("ring holds %d tuples, want 40", got)
+	}
+	if len(fed.Journal().Since(0, "ckpt.replicate")) == 0 {
+		t.Fatal("no ckpt.replicate events journaled")
+	}
+}
+
+// Satellite: the accounting ledger's accrued execution time must
+// survive serialization, including in-flight accruals.
+func TestLedgerSnapshotRestoreRoundtrip(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	l := NewLedger(clock)
+	if err := l.Start("q1", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start("q2", "e2"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(10 * time.Second)
+	if err := l.Stop("q1"); err != nil { // e1 banks 10s
+		t.Fatal(err)
+	}
+	if err := l.Move("q2", "e1"); err != nil { // e2 banks 10s; q2 accrues on e1
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	if snap == nil {
+		t.Fatal("nil snapshot")
+	}
+
+	r := NewLedger(clock)
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveQueries() != 1 {
+		t.Fatalf("active after restore = %d, want 1", r.ActiveQueries())
+	}
+	now = now.Add(5 * time.Second)
+	if got := r.Charge("e1"); got != 15*time.Second {
+		t.Fatalf("e1 charge = %v, want 15s (10 banked + 5 in-flight)", got)
+	}
+	if got := r.Charge("e2"); got != 10*time.Second {
+		t.Fatalf("e2 charge = %v, want 10s", got)
+	}
+	if err := r.Restore([]byte("{broken")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// Satellite: a coordinator crash must not lose accrued execution time —
+// the ledger persisted through the checkpoint store is recoverable from
+// the surviving entities.
+func TestLedgerPersistAndRecover(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	log := &seqLog{}
+	if err := fed.SubmitQueryTo(countQuery("agg", 8), "e00", log.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.RecoverLedger(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	fed.CheckpointTick()
+	fed.Settle(2 * time.Second)
+
+	// Simulate the coordinator losing its in-memory ledger.
+	if err := fed.Ledger().Restore([]byte(`{"accrued_ns":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Ledger().ActiveQueries() != 0 {
+		t.Fatal("wipe failed")
+	}
+	found, err := fed.RecoverLedger(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("persisted ledger not found on any replica")
+	}
+	if fed.Ledger().ActiveQueries() != 1 {
+		t.Fatalf("active after recovery = %d, want 1 (agg accruing)",
+			fed.Ledger().ActiveQueries())
+	}
+}
+
+// Satellite: a detector-confirmed expulsion whose FailEntity errors
+// must be counted and journaled, never silently dropped.
+func TestExpelConfirmedCountsErrors(t *testing.T) {
+	fed, _ := newTestFederation(t, 2)
+	fed.expelConfirmed("no-such-entity")
+	if got := fed.EntityFailErrors(); got != 1 {
+		t.Fatalf("EntityFailErrors = %d, want 1", got)
+	}
+	if len(fed.Journal().Since(0, "detector.expel_failed")) != 1 {
+		t.Fatal("failed expulsion not journaled as detector.expel_failed")
+	}
+	// A successful expulsion does not count.
+	if _, err := fed.FailEntity("e01"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fed.EntityFailErrors(); got != 1 {
+		t.Fatalf("EntityFailErrors after clean expulsion = %d, want 1", got)
+	}
+}
+
+// RemoveQuery must unpin the removed query's streams from the replay
+// ring floor.
+func TestRemoveQueryUnpinsRing(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	log := &seqLog{}
+	if err := fed.SubmitQueryTo(countQuery("agg", 8), "e00", log.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tick := workload.NewTicker(3, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(30)); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+	fed.CheckpointTick() // marks agg as written; ring pinned until quorum
+	fed.Settle(2 * time.Second)
+	if err := fed.RemoveQuery("agg"); err != nil {
+		t.Fatal(err)
+	}
+	p := fed.ckptRef()
+	p.mu.Lock()
+	_, written := p.written["agg"]
+	p.mu.Unlock()
+	if written {
+		t.Fatal("removed query still pins the replay ring")
+	}
+}

@@ -140,9 +140,24 @@ type Federation struct {
 	stats *statsPlane
 	// lat is the latency attribution plane (nil until
 	// EnableLatencyAttribution).
-	lat     *latencyPlane
-	started bool
-	closed  bool
+	lat *latencyPlane
+	// ckpt is the durable-checkpoint plane (nil until
+	// EnableCheckpoints).
+	ckpt *ckptPlane
+	// entityFailErrors counts detector-confirmed expulsions whose
+	// FailEntity call itself failed — failures that would otherwise be
+	// silently dropped by the async confirm callback.
+	entityFailErrors metrics.Counter
+	// Recovery counters and history ring back sspd_recoveries_total and
+	// the /cluster recovery table.
+	recRestored      metrics.Counter
+	recStateless     metrics.Counter
+	recFailed        metrics.Counter
+	recReplayed      metrics.Counter
+	recReplayFetched metrics.Counter
+	recLog           []RecoveryRecord
+	started          bool
+	closed           bool
 }
 
 type sourceNode struct {
@@ -447,7 +462,15 @@ func (f *Federation) Publish(streamName string, batch stream.Batch) error {
 			batch = out
 		}
 	}
-	return src.relay.Publish(batch)
+	if err := src.relay.Publish(batch); err != nil {
+		return err
+	}
+	// The replay ring records what was actually disseminated, so
+	// recovery can re-feed the post-checkpoint suffix.
+	if p := f.ckptRef(); p != nil {
+		p.observePublish(streamName, batch)
+	}
+	return nil
 }
 
 // SubmitQuery allocates a query via the coordinator tree: the query
@@ -549,6 +572,9 @@ func (f *Federation) RemoveQuery(id string) error {
 	delete(f.queries, id)
 	delete(f.results, id)
 	f.mu.Unlock()
+	if p := f.ckptRef(); p != nil {
+		p.forgetQuery(id)
+	}
 	if err := f.ledger.Stop(id); err != nil {
 		f.logger.Warn("ledger.error", fq.entity, "ledger stop failed",
 			"query", id, "err", err.Error())
@@ -738,6 +764,9 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 	if f.stats != nil {
 		f.stats.addNode(id)
 	}
+	if f.ckpt != nil {
+		f.ckpt.addNode(id, ent)
+	}
 	return nil
 }
 
@@ -888,14 +917,10 @@ func (f *Federation) FailEntity(id string) (int, error) {
 	f.logger.Error("entity.fail", id, "entity expelled as failed")
 	// Collect the dead entity's queries; they leave the books entirely
 	// and re-enter through the normal placement path.
-	type orphan struct {
-		spec     engine.QuerySpec
-		onResult func(stream.Tuple)
-	}
-	var orphans []orphan
+	var orphans []orphanQuery
 	for q, fq := range f.queries {
 		if fq.entity == id {
-			orphans = append(orphans, orphan{spec: fq.spec, onResult: f.results[q]})
+			orphans = append(orphans, orphanQuery{spec: fq.spec, onResult: f.results[q]})
 			delete(f.queries, q)
 			delete(f.results, q)
 		}
@@ -957,6 +982,14 @@ func (f *Federation) FailEntity(id string) (int, error) {
 			return 0, err
 		}
 	}
+	// With the checkpoint plane enabled, orphans are restored from
+	// their newest quorum-acked checkpoint and caught up by bounded
+	// replay; without it they re-enter stateless through the normal
+	// placement path.
+	if p := f.ckptRef(); p != nil {
+		p.killReplica(id)
+		return f.recoverOrphans(p, id, pos, orphans)
+	}
 	// Re-place every orphan where the coordinator tree routes it.
 	replaced := 0
 	for _, o := range orphans {
@@ -1003,7 +1036,7 @@ func (f *Federation) EnableFailureDetection(interval time.Duration, threshold in
 		func(peer simnet.NodeID) {
 			id := strings.TrimSuffix(string(peer), "/hb")
 			f.logger.Warn("detector.confirm", id, "failure confirmed, expelling entity")
-			go func() { _, _ = f.FailEntity(id) }()
+			go f.expelConfirmed(id)
 		})
 	if err != nil {
 		return err
@@ -1286,7 +1319,12 @@ func (f *Federation) Close() {
 	f.stats = nil
 	lat := f.lat
 	f.lat = nil
+	ckpt := f.ckpt
+	f.ckpt = nil
 	f.mu.Unlock()
+	if ckpt != nil {
+		ckpt.close()
+	}
 	if lat != nil {
 		lat.close(tracer)
 	}

@@ -252,6 +252,34 @@ func (f *Federation) collectMetrics(emit func(metrics.Sample)) {
 	counter("sspd_adaptation_moves_total", "Queries migrated by the adaptation controller.",
 		float64(f.adaptMoves.Value()))
 
+	// Durability and crash-recovery signals (checkpoint plane; the
+	// write/byte counters stay zero until EnableCheckpoints).
+	ck := f.Checkpoints()
+	counter("sspd_checkpoints_total", "Checkpoint records written and replicated.",
+		float64(ck.Writes))
+	counter("sspd_checkpoint_bytes_total", "Encoded checkpoint bytes shipped to replicas.",
+		float64(ck.WireBytes))
+	counter("sspd_checkpoint_quorum_total", "Checkpoints acknowledged by a replica quorum.",
+		float64(ck.QuorumAcked))
+	counter("sspd_checkpoint_errors_total", "Checkpoint attempts that failed before replication.",
+		float64(ck.Errors))
+	counter("sspd_checkpoint_corrupt_total", "Checkpoint records rejected as corrupt (CRC or torn chunks).",
+		float64(ck.Corrupt))
+	counter("sspd_checkpoint_stale_total", "Checkpoint records rejected as stale (older sequence).",
+		float64(ck.StaleDrops))
+	counter("sspd_recoveries_total", "Crash-recovered queries by outcome.",
+		float64(f.recRestored.Value()), metrics.L("outcome", "restored"))
+	counter("sspd_recoveries_total", "Crash-recovered queries by outcome.",
+		float64(f.recStateless.Value()), metrics.L("outcome", "stateless"))
+	counter("sspd_recoveries_total", "Crash-recovered queries by outcome.",
+		float64(f.recFailed.Value()), metrics.L("outcome", "failed"))
+	counter("sspd_recovery_replayed_total", "Tuples replayed through recovered queries' gates.",
+		float64(f.recReplayed.Value()))
+	counter("sspd_recovery_replay_fetched_total", "Tuples fetched from the upstream replay rings during recoveries.",
+		float64(f.recReplayFetched.Value()))
+	counter("sspd_entity_fail_errors_total", "Detector-confirmed expulsions whose FailEntity call failed.",
+		float64(f.entityFailErrors.Value()))
+
 	links := make([]string, 0, len(sendErrs))
 	for l := range sendErrs {
 		links = append(links, l)

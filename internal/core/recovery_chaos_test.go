@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/stream"
+	"sspd/internal/workload"
+)
+
+// TestHardKillRecoveryZeroLoss is the headline robustness property of
+// the checkpoint plane: an entity running a stateful windowed aggregate
+// AND a windowed join is hard-killed (kill -9: no goodbye, no state
+// handoff) while tuples are published into the outage. After the
+// coordinator expels it, both queries must come back on a survivor
+// restored from their last quorum-acked checkpoint, the outage-window
+// tuples must be replayed from the ring, and the final result stream
+// must show every published tuple exactly once with window contents
+// carried across the crash.
+func TestHardKillRecoveryZeroLoss(t *testing.T) {
+	const window = 64
+	fed, _ := newTestFederation(t, 4)
+
+	aggLog, joinLog := &seqLog{}, &seqLog{}
+	if err := fed.SubmitQueryTo(countQuery("agg", window), "e01", aggLog.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SubmitQueryTo(symbolJoinQuery("join"), "e01", joinLog.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+
+	// Fix the trade-side join windows before any quotes, so each
+	// quote's match count is independent of recovery timing.
+	tick := workload.NewTicker(7, 100, 1.2)
+	var trades stream.Batch
+	for i := 0; i < 200; i++ {
+		trades = append(trades, tick.NextTrade())
+	}
+	if err := fed.Publish("trades", trades); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+
+	var quotes []stream.Batch
+	publish := func(k int) {
+		t.Helper()
+		b := tick.Batch(k)
+		quotes = append(quotes, b)
+		if err := fed.Publish("quotes", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm the windows past one full turn, then take a durable cut.
+	publish(100)
+	fed.Settle(2 * time.Second)
+	fed.CheckpointTick()
+	waitUntil(t, 2*time.Second, "checkpoint quorum", func() bool {
+		return fed.Checkpoints().QuorumAcked >= 2 // agg + join
+	})
+	fed.Settle(2 * time.Second)
+
+	// Hard crash: the entity vanishes mid-operation. Tuples published
+	// into the outage reach no query — only the replay ring holds them.
+	if err := fed.KillEntity("e01"); err != nil {
+		t.Fatal(err)
+	}
+	const outage = 60
+	publish(outage)
+
+	// Expulsion triggers checkpoint-backed recovery: re-place, restore,
+	// replay the outage suffix.
+	moved, err := fed.FailEntity("e01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("recovered %d queries, want 2", moved)
+	}
+	fed.Settle(2 * time.Second)
+
+	// Life goes on: post-recovery traffic flows through the repaired
+	// tree to the new hosts.
+	publish(50)
+	fed.Settle(2 * time.Second)
+
+	// Both recoveries restored durable state — not stateless restarts.
+	recs := fed.Recoveries()
+	if len(recs) != 2 {
+		t.Fatalf("recovery history has %d records, want 2: %+v", len(recs), recs)
+	}
+	replayed := int64(0)
+	for _, r := range recs {
+		if r.Outcome != "restored" {
+			t.Fatalf("recovery %s: outcome %s (%s), want restored", r.Query, r.Outcome, r.Reason)
+		}
+		if r.Failed != "e01" || r.Target == "e01" || r.Target == "" {
+			t.Fatalf("recovery %s: failed=%s target=%s", r.Query, r.Failed, r.Target)
+		}
+		if r.Seq == 0 {
+			t.Fatalf("recovery %s restored from seq 0", r.Query)
+		}
+		replayed += int64(r.Replayed)
+	}
+	if replayed == 0 {
+		t.Fatal("no tuples replayed despite an outage window")
+	}
+
+	// Replay amplification is bounded: at worst each recovery group
+	// fetches the outage suffix once.
+	if fetched := fed.RecoveryReplayFetched(); fetched == 0 || fetched > 2*outage {
+		t.Fatalf("replay fetched %d tuples for a %d-tuple outage (bound 2x)", fetched, outage)
+	}
+
+	// Zero committed-result loss, zero duplication: every published
+	// quote produced its aggregate result exactly once, across the
+	// crash, the replay, and the post-recovery traffic.
+	aggCounts, aggValues := aggLog.snapshot()
+	published := 0
+	for _, b := range quotes {
+		published += len(b)
+		for _, tu := range b {
+			switch aggCounts[tu.Seq] {
+			case 1:
+			case 0:
+				t.Fatalf("tuple seq %d lost across the crash", tu.Seq)
+			default:
+				t.Fatalf("tuple seq %d processed %d times (replay duplicated)",
+					tu.Seq, aggCounts[tu.Seq])
+			}
+		}
+	}
+	if len(aggValues) != published {
+		t.Fatalf("agg results = %d, want %d", len(aggValues), published)
+	}
+	assertWindowContinuity(t, aggValues, window)
+
+	// The join's window state survived the crash: per-seq match counts
+	// equal an oracle fed the identical tuple sequence.
+	oracle := engine.NewMini("oracle", workload.Catalog(100, 20))
+	defer oracle.Close()
+	oracleJoin := &seqLog{}
+	if err := oracle.Register(symbolJoinQuery("join"), oracleJoin.observe); err != nil {
+		t.Fatal(err)
+	}
+	oracle.IngestBatch(trades)
+	for _, b := range quotes {
+		oracle.IngestBatch(b)
+	}
+	joinCounts, _ := joinLog.snapshot()
+	wantJoin, _ := oracleJoin.snapshot()
+	if len(joinCounts) != len(wantJoin) {
+		t.Fatalf("join produced results for %d seqs, oracle %d", len(joinCounts), len(wantJoin))
+	}
+	for seq, want := range wantJoin {
+		if joinCounts[seq] != want {
+			t.Fatalf("join seq %d: %d results, oracle %d", seq, joinCounts[seq], want)
+		}
+	}
+
+	// No silently dropped expulsion errors (satellite), and the journal
+	// tells the whole story: durable write → quorum → recovery.
+	if got := fed.EntityFailErrors(); got != 0 {
+		t.Fatalf("EntityFailErrors = %d, want 0", got)
+	}
+	for _, kind := range []string{
+		"ckpt.write", "ckpt.replicate", "entity.kill",
+		"recovery.start", "recovery.restore", "recovery.done",
+	} {
+		if len(fed.Journal().Since(0, kind)) == 0 {
+			t.Fatalf("journal missing %s events", kind)
+		}
+	}
+}
+
+// Without checkpoints enabled, FailEntity falls back to the legacy
+// stateless re-placement; with checkpoints enabled but no written
+// record yet, recovery must degrade to a stateless restart — never
+// fail, never restore garbage.
+func TestHardKillWithoutCheckpointIsStateless(t *testing.T) {
+	fed, _ := newTestFederation(t, 3)
+	log := &seqLog{}
+	if err := fed.SubmitQueryTo(countQuery("agg", 8), "e01", log.observe); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.EnableCheckpoints(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+	// No CheckpointTick: the kill races ahead of the first checkpoint.
+	if err := fed.KillEntity("e01"); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := fed.FailEntity("e01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+	recs := fed.Recoveries()
+	if len(recs) != 1 || recs[0].Outcome != "stateless" {
+		t.Fatalf("recoveries = %+v, want one stateless record", recs)
+	}
+	// The query still works on its new host.
+	tick := workload.NewTicker(9, 100, 1.2)
+	if err := fed.Publish("quotes", tick.Batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+	counts, _ := log.snapshot()
+	if len(counts) != 20 {
+		t.Fatalf("post-recovery results for %d seqs, want 20", len(counts))
+	}
+}

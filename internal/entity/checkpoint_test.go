@@ -1,0 +1,125 @@
+package entity
+
+import (
+	"testing"
+	"time"
+
+	"sspd/internal/simnet"
+)
+
+// With dedup on and marks installed, tuples at or below the mark must
+// be dropped as stale and everything above processed exactly once.
+func TestIngestDedupFiltersStale(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	e.SetIngestDedup(true)
+	if err := e.PlaceQuery(aggQuerySpec("q1", 4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetQueryMarks("q1", map[string]uint64{"quotes": 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(5); i <= 15; i++ {
+		e.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 5 {
+		t.Fatalf("results = %d, want 5 (seqs 11..15)", got)
+	}
+	if got := e.StaleDrops(); got != 6 {
+		t.Fatalf("stale drops = %d, want 6 (seqs 5..10)", got)
+	}
+	marks, ok := e.QueryMarks("q1")
+	if !ok || marks["quotes"] != 15 {
+		t.Fatalf("marks = %v %v, want quotes=15", marks, ok)
+	}
+	// Dedup off again: the same stale seq flows through.
+	e.SetIngestDedup(false)
+	e.Ingest(quote(3, "ibm", 50, 1))
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 6 {
+		t.Fatalf("dedup-off results = %d, want 6", got)
+	}
+}
+
+// CheckpointQuery must capture a consistent cut — marks covering every
+// processed tuple and a restorable state — and resume processing
+// afterwards with nothing lost.
+func TestCheckpointQueryCutAndResume(t *testing.T) {
+	e, net, log := newTestEntity(t, 2)
+	e.SetIngestDedup(true)
+	if err := e.PlaceQuery(aggQuerySpec("q1", 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		e.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+
+	st, marks, stateBytes, ok, err := e.CheckpointQuery("q1")
+	if err != nil || !ok {
+		t.Fatalf("checkpoint: %v ok=%v", err, ok)
+	}
+	if stateBytes <= 0 || len(st) == 0 {
+		t.Fatalf("empty state: %d bytes, %d frags", stateBytes, len(st))
+	}
+	if marks["quotes"] != 20 {
+		t.Fatalf("marks = %v, want quotes=20", marks)
+	}
+	// The query keeps running after the checkpoint.
+	for i := uint64(21); i <= 25; i++ {
+		e.Ingest(quote(i, "ibm", 50, 1))
+	}
+	net.Quiesce(time.Second)
+	if got := log.count("q1"); got != 25 {
+		t.Fatalf("post-checkpoint results = %d, want 25", got)
+	}
+
+	// Restore the cut on a fresh entity and replay an overlapping
+	// suffix: only seqs above the mark process, and the window is
+	// still warm (count 8, not restarted).
+	net2 := simnet.NewSim(nil)
+	t.Cleanup(func() { net2.Close() })
+	e2, err := New("e2", net2, testCatalog(t), 1, miniFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e2.Close)
+	log2 := &valueLog{}
+	e2.SetResultHandler(log2.handle)
+	e2.SetIngestDedup(true)
+	if err := e2.PrepareQuery(aggQuerySpec("q1", 8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RestoreQuery("q1", st); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SetQueryMarks("q1", marks); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(15); i <= 23; i++ { // replay overlaps the mark
+		e2.Ingest(quote(i, "ibm", 50, 1))
+	}
+	if _, _, err := e2.CommitQuery("q1", nil); err != nil {
+		t.Fatal(err)
+	}
+	net2.Quiesce(time.Second)
+	if got := log2.count("q1"); got != 3 {
+		t.Fatalf("restored results = %d, want 3 (seqs 21..23)", got)
+	}
+	if v := log2.last("q1"); v != 8 {
+		t.Fatalf("window continuity broken after restore: count %v, want 8", v)
+	}
+}
+
+func TestCheckpointQueryErrors(t *testing.T) {
+	e, _, _ := newTestEntity(t, 1)
+	if _, _, _, _, err := e.CheckpointQuery("nope"); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if err := e.SetQueryMarks("nope", nil); err == nil {
+		t.Fatal("marks for unknown query accepted")
+	}
+	if _, ok := e.QueryMarks("nope"); ok {
+		t.Fatal("marks for unknown query returned")
+	}
+}

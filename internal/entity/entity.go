@@ -47,6 +47,10 @@ type Entity struct {
 	// results receives (queryID, tuple) for every final result.
 	results func(string, stream.Tuple)
 
+	// dedup seeds new ingest gates' (stream, seq) high-water filtering
+	// (see SetIngestDedup).
+	dedup bool
+
 	// Delivered counts result tuples across all queries.
 	Delivered metrics.Counter
 	closed    bool
@@ -300,7 +304,7 @@ func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
 		procIdx[i] = order[i%len(order)]
 	}
 
-	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx, gate: &ingestGate{paused: paused}}
+	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx, gate: &ingestGate{paused: paused, dedup: e.dedup}}
 	queryID := spec.ID
 	registered := make([]int, 0, len(frags))
 	for i := len(frags) - 1; i >= 0; i-- {
@@ -664,17 +668,23 @@ func (p *procNode) ingest(b stream.Batch) {
 	p.mu.Unlock()
 	bf, batchFeed := p.feeder.(engine.BatchFeeder)
 	for _, tgt := range targets {
-		if tgt.gate != nil && tgt.gate.intercept(b) {
-			continue
+		out := b
+		if tgt.gate != nil {
+			// admit buffers (paused) or dedup-filters per target; each
+			// query's gate sees the full batch and keeps its own view.
+			out = tgt.gate.admit(b)
+			if len(out) == 0 {
+				continue
+			}
 		}
 		if tgt.node == p.id {
-			for _, t := range b {
+			for _, t := range out {
 				trace.Record(trace.SpanID(t.Span), trace.StageOperator, tgt.frag)
 			}
 			if batchFeed {
-				_ = bf.FeedQueryBatch(tgt.frag, b)
+				_ = bf.FeedQueryBatch(tgt.frag, out)
 			} else {
-				for _, t := range b {
+				for _, t := range out {
 					_ = p.feeder.FeedQuery(tgt.frag, t)
 				}
 			}
@@ -682,7 +692,7 @@ func (p *procNode) ingest(b stream.Batch) {
 		}
 		// One addressed message per remote fragment, not one per tuple.
 		buf := stream.GetEncodeBuffer()
-		*buf = encodeFeedBatch((*buf)[:0], tgt.frag, b)
+		*buf = encodeFeedBatch((*buf)[:0], tgt.frag, out)
 		_ = p.entity.transport.Send(p.id, tgt.node, KindFeedBatch, *buf)
 		stream.PutEncodeBuffer(buf)
 	}

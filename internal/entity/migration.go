@@ -31,32 +31,122 @@ const replayChunk = 512
 
 // ingestGate sits between the delegation fan-out and a query's head
 // fragment. While paused it buffers batches instead of delivering them.
+// With dedup on (checkpointing federations) it also tracks per-stream
+// high-water marks and drops tuples at or below them, so a bounded
+// upstream replay after recovery is idempotent: tuples already
+// reflected in the restored checkpoint state are filtered here.
 type ingestGate struct {
 	mu       sync.Mutex
 	paused   bool
 	buf      stream.Batch
 	overflow int
+	// dedup enables mark tracking + stale-tuple filtering. Opt-in: it
+	// assumes per-stream monotone delivery, which only checkpointing
+	// federations (no reorder faults on the tuple path) guarantee.
+	dedup bool
+	marks map[string]uint64
+	stale int64
 }
 
-// intercept reports whether the gate consumed the batch (paused). The
-// caller skips delivery when it returns true.
-func (g *ingestGate) intercept(b stream.Batch) bool {
+// admit returns the sub-batch the caller should deliver: the input
+// unchanged on the open fast path, a filtered copy when dedup dropped
+// stale tuples, or nil when the gate consumed everything (paused, or
+// fully stale).
+func (g *ingestGate) admit(b stream.Batch) stream.Batch {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !g.paused {
-		return false
+	if g.paused {
+		room := maxPauseBuffer - len(g.buf)
+		if room <= 0 {
+			g.overflow += len(b)
+			return nil
+		}
+		if len(b) > room {
+			g.overflow += len(b) - room
+			b = b[:room]
+		}
+		g.buf = append(g.buf, b...)
+		return nil
 	}
-	room := maxPauseBuffer - len(g.buf)
-	if room <= 0 {
-		g.overflow += len(b)
-		return true
+	if !g.dedup {
+		return b
 	}
-	if len(b) > room {
-		g.overflow += len(b) - room
-		b = b[:room]
+	return g.filterLocked(b)
+}
+
+// filterLocked drops tuples at or below their stream's mark and
+// advances the marks past the admitted ones. The no-stale common case
+// returns the input batch without allocating.
+func (g *ingestGate) filterLocked(b stream.Batch) stream.Batch {
+	stale := 0
+	for _, t := range b {
+		if t.Seq <= g.marks[t.Stream] {
+			stale++
+		}
 	}
-	g.buf = append(g.buf, b...)
-	return true
+	if stale == 0 {
+		for _, t := range b {
+			g.markLocked(t.Stream, t.Seq)
+		}
+		return b
+	}
+	g.stale += int64(stale)
+	if stale == len(b) {
+		return nil
+	}
+	out := make(stream.Batch, 0, len(b)-stale)
+	for _, t := range b {
+		if t.Seq <= g.marks[t.Stream] {
+			continue
+		}
+		g.markLocked(t.Stream, t.Seq)
+		out = append(out, t)
+	}
+	return out
+}
+
+func (g *ingestGate) markLocked(streamName string, seq uint64) {
+	if g.marks == nil {
+		g.marks = make(map[string]uint64, 2)
+	}
+	if seq > g.marks[streamName] {
+		g.marks[streamName] = seq
+	}
+}
+
+func (g *ingestGate) setDedup(on bool) {
+	g.mu.Lock()
+	g.dedup = on
+	g.mu.Unlock()
+}
+
+// setMarks replaces the gate's high-water marks — recovery installs the
+// restored checkpoint's marks here so the post-checkpoint replay dedups
+// against the restored state.
+func (g *ingestGate) setMarks(marks map[string]uint64) {
+	g.mu.Lock()
+	g.marks = make(map[string]uint64, len(marks))
+	for s, seq := range marks {
+		g.marks[s] = seq
+	}
+	g.mu.Unlock()
+}
+
+// marksCopy snapshots the current high-water marks.
+func (g *ingestGate) marksCopy() map[string]uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]uint64, len(g.marks))
+	for s, seq := range g.marks {
+		out[s] = seq
+	}
+	return out
+}
+
+func (g *ingestGate) staleCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stale
 }
 
 func (g *ingestGate) pause() {
@@ -76,12 +166,17 @@ func (g *ingestGate) take() (stream.Batch, int) {
 
 // open replays prepend + the gate's own buffer through feed and unpauses
 // — atomically, so a live batch arriving during the replay cannot
-// overtake it (intercept blocks on the gate mutex until the gate is
-// open; the feed path never re-enters the gate).
+// overtake it (admit blocks on the gate mutex until the gate is
+// open; the feed path never re-enters the gate). With dedup on, the
+// merged replay is additionally filtered by the high-water marks, so a
+// recovery replay feeds only tuples newer than the restored checkpoint.
 func (g *ingestGate) open(prepend stream.Batch, feed func(stream.Batch)) (replayed, dropped int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	merged := mergeReplay(prepend, g.buf)
+	if g.dedup {
+		merged = g.filterLocked(merged)
+	}
 	if len(merged) > 0 && feed != nil {
 		feed(merged)
 	}

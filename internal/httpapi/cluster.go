@@ -42,10 +42,12 @@ func (s *Server) clusterHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	rows, root, _ := s.fed.ClusterStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"root":       root,
-		"entities":   s.fed.ClusterHealth(),
-		"rows":       rows,
-		"migrations": s.fed.Migrations(),
+		"root":        root,
+		"entities":    s.fed.ClusterHealth(),
+		"rows":        rows,
+		"migrations":  s.fed.Migrations(),
+		"recoveries":  s.fed.Recoveries(),
+		"checkpoints": s.fed.Checkpoints(),
 	})
 }
 
@@ -200,7 +202,7 @@ const clusterPageHTML = `<!doctype html>
   .ok { color: #6c6; } .bad { color: #e66; }
   svg { vertical-align: middle; }
   #events div { padding: 0.1rem 0; font-size: 0.8rem; border-bottom: 1px solid #222; }
-  .kind { color: #8bf; } .seq { color: #666; }
+  .kind { color: #8bf; } .seq { color: #666; } .muted { color: #888; font-size: 12px; font-weight: normal; }
   #meta, #lat-meta { color: #888; font-size: 0.8rem; }
   .wf { display: inline-flex; width: 220px; height: 12px; background: #222; }
   .wf div { height: 100%; }
@@ -236,6 +238,11 @@ const clusterPageHTML = `<!doctype html>
 <table>
   <thead><tr><th>query</th><th>from → to</th><th>outcome</th><th>state</th><th>replayed</th><th>pause</th><th>reason</th></tr></thead>
   <tbody id="migrations"></tbody>
+</table>
+<h2>recoveries <span id="ckpt-meta" class="muted"></span></h2>
+<table>
+  <thead><tr><th>query</th><th>failed → target</th><th>outcome</th><th>ckpt seq</th><th>replayed</th><th>reason</th></tr></thead>
+  <tbody id="recoveries"></tbody>
 </table>
 <h2>recent events</h2>
 <div id="events"></div>
@@ -307,6 +314,17 @@ async function refresh() {
       '<td class="' + (m.outcome === 'commit' ? 'ok' : 'bad') + '">' + esc(m.outcome) + '</td>' +
       '<td>' + m.state_bytes + 'B</td><td>' + m.replayed + '</td>' +
       '<td>' + m.pause_ms.toFixed(1) + 'ms</td><td>' + esc(m.reason || '') + '</td></tr>').join('');
+    const ck = h.checkpoints || {};
+    document.getElementById('ckpt-meta').textContent = ck.enabled
+      ? '· ' + ck.writes + ' written · ' + ck.quorum_acked + ' quorum-acked (K=' + ck.replicas +
+        ', Q=' + ck.quorum + ') · ' + ck.ring_tuples + ' ring tuples' +
+        (ck.corrupt ? ' · ' + ck.corrupt + ' corrupt' : '')
+      : '· checkpoints disabled';
+    document.getElementById('recoveries').innerHTML = (h.recoveries || []).slice(0, 20).map(r =>
+      '<tr><td>' + esc(r.query) + '</td><td>' + esc(r.failed) + ' → ' + esc(r.target || '—') + '</td>' +
+      '<td class="' + (r.outcome === 'failed' ? 'bad' : 'ok') + '">' + esc(r.outcome) + '</td>' +
+      '<td>' + (r.ckpt_seq || '—') + '</td><td>' + r.replayed + '</td>' +
+      '<td>' + esc(r.reason || '') + '</td></tr>').join('');
     await refreshLatency();
     const er = await fetch('events');
     if (er.ok) {

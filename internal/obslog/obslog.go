@@ -10,12 +10,14 @@
 // Event-kind taxonomy (prefix-filterable at the API):
 //
 //	coordinator.split / coordinator.merge / coordinator.recenter
-//	entity.join / entity.leave / entity.fail
-//	detector.suspect / detector.confirm
+//	entity.join / entity.leave / entity.fail / entity.kill
+//	detector.suspect / detector.confirm / detector.expel_failed
 //	control.giveup
 //	tree.repair
 //	migration.plan / migration.start / migration.snapshot
 //	migration.commit / migration.rollback / migration.place / migration.decide
+//	ckpt.enable / ckpt.write / ckpt.replicate / ckpt.corrupt / ckpt.error
+//	recovery.start / recovery.restore / recovery.done
 //	ledger.error
 //	link.down / link.up
 //	decode.bad / decode.ok

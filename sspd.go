@@ -116,6 +116,10 @@ type (
 	Ledger = core.Ledger
 	// MigrationRecord is one committed or rolled-back live migration.
 	MigrationRecord = core.MigrationRecord
+	// RecoveryRecord is one query's crash-recovery outcome.
+	RecoveryRecord = core.RecoveryRecord
+	// CheckpointInfo is the durable-checkpoint plane's status summary.
+	CheckpointInfo = core.CheckpointInfo
 	// Strategy selects the dissemination-tree shape.
 	Strategy = dissemination.Strategy
 )
