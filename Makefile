@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench
+.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench-engine bench
 
-check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery
+check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench-engine
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,13 @@ lint-obslog:
 		exit 1; \
 	fi
 	@echo "lint-obslog: clean"
+	@bad=$$(grep -rnE 'time\.Now\(' internal/engine/kernels.go internal/stream/colbatch.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-obslog: no clock reads inside vectorized kernel inner loops (one timestamp per batch, taken by the shard loop):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-obslog: kernels clock-free"
 
 build:
 	$(GO) build ./...
@@ -35,8 +42,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The differential suite (Engine vs. MiniEngine vs. ShardEngine result
+# equivalence) runs once more explicitly: it is the engine-swap proof
+# obligation and must never be skipped by test caching.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestShardEngine' ./internal/engine/
 
 # Chaos gate: the tier-1 suite under -race plus the seeded chaos bench,
 # which fails if any tuple is silently lost after the federation
@@ -85,6 +96,13 @@ bench-latency:
 # the outage traffic.
 bench-recovery:
 	$(GO) run ./cmd/sspd-bench -recovery BENCH_recovery.json
+
+# Regenerates BENCH_engine.json: the shard-per-core vectorized engine
+# against the asynchronous baseline on an identical 16-query quote
+# workload (per-tuple busy cost, wall-clock tuples/sec, shard scaling
+# sweep). Fails if the throughput speedup drops below the 5x bar.
+bench-engine:
+	$(GO) run ./cmd/sspd-bench -engine BENCH_engine.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+// engineBenchReport is the schema of BENCH_engine.json: the shard-per-
+// core vectorized engine against the asynchronous baseline on an
+// identical 16-query quote workload. Per-tuple cost is busy time from
+// the engines' own processing histograms (work actually spent inside
+// query execution, summed across queries), so the drain barriers that
+// keep the feed lossless don't pollute the comparison; tuples/sec is
+// wall clock over the same lossless feed and therefore includes them.
+type engineBenchReport struct {
+	Queries   int `json:"queries"`
+	BatchSize int `json:"batch_size"`
+	Tuples    int `json:"tuples"`
+	Procs     int `json:"procs"`
+	Shards    int `json:"shards"`
+
+	EngineNsPerTuple float64 `json:"engine_ns_per_tuple"`
+	ShardNsPerTuple  float64 `json:"shard_ns_per_tuple"`
+	BusySpeedup      float64 `json:"busy_speedup"`
+
+	EngineTuplesPerSec float64 `json:"engine_tuples_per_sec"`
+	ShardTuplesPerSec  float64 `json:"shard_tuples_per_sec"`
+	// Speedup is the gated number: shard over baseline wall-clock
+	// throughput through the full ingest-to-result path.
+	Speedup float64 `json:"speedup"`
+
+	// Scaling is the shard count sweep 1..GOMAXPROCS with the query set
+	// fixed, single entity.
+	Scaling []scalePoint `json:"scaling"`
+}
+
+type scalePoint struct {
+	Shards       int     `json:"shards"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+}
+
+func engineBenchCatalog() *stream.Catalog {
+	cat := stream.NewCatalog()
+	if err := cat.Register(stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 64},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 100},
+		stream.Field{Name: "size", Type: stream.KindInt, Lo: 0, Hi: 1000},
+	)); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+var engineBenchSymbols = []string{
+	"ibm", "msft", "goog", "amzn", "aapl", "orcl", "nvda", "amd",
+	"intc", "csco", "qcom", "txn", "mu", "avgo", "adbe", "crm",
+}
+
+// engineBenchBatches generates the deterministic quote workload as
+// ready-made batches (xorshift sequence, fixed timestamps).
+func engineBenchBatches(nBatches, batchSize int) []stream.Batch {
+	base := time.Unix(1754000000, 0).UTC()
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	out := make([]stream.Batch, nBatches)
+	seq := uint64(0)
+	for i := range out {
+		b := make(stream.Batch, 0, batchSize)
+		for j := 0; j < batchSize; j++ {
+			b = append(b, stream.NewTuple("quotes", seq,
+				base.Add(time.Duration(seq)*time.Millisecond),
+				stream.String(engineBenchSymbols[next()%uint64(len(engineBenchSymbols))]),
+				stream.Float(float64(next()%10000)/100),
+				stream.Int(int64(next()%1000))))
+			seq++
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// engineBenchSpecs builds the fixed 16-query set: twelve vectorizable
+// filter chains at staggered selectivities plus four windowed
+// aggregates, all over quotes.
+func engineBenchSpecs() []engine.QuerySpec {
+	specs := make([]engine.QuerySpec, 0, 16)
+	for i := 0; i < 12; i++ {
+		lo := float64(i * 6)
+		specs = append(specs, engine.QuerySpec{
+			ID:     fmt.Sprintf("b-filter-%02d", i),
+			Source: "quotes",
+			Filters: []engine.FilterSpec{
+				{Field: "price", Lo: lo, Hi: lo + 25},
+				{KeyField: "symbol", Keys: []string{
+					engineBenchSymbols[i], engineBenchSymbols[(i+5)%len(engineBenchSymbols)]}},
+			},
+		})
+	}
+	for i := 0; i < 4; i++ {
+		lo := float64(i * 20)
+		specs = append(specs, engine.QuerySpec{
+			ID:     fmt.Sprintf("b-agg-%02d", i),
+			Source: "quotes",
+			Filters: []engine.FilterSpec{
+				{Field: "price", Lo: lo, Hi: lo + 40},
+				{KeyField: "symbol", Keys: []string{
+					engineBenchSymbols[i*3], engineBenchSymbols[i*3+1], engineBenchSymbols[i*3+2]}},
+			},
+			Agg: &engine.AggSpec{Fn: operator.AggSum, ValueField: "price",
+				GroupField: "symbol", Window: stream.CountWindow(64)},
+		})
+	}
+	return specs
+}
+
+type benchEngine interface {
+	engine.Processor
+	engine.BatchIngester
+	engine.MetricsReporter
+	engine.DropReporter
+	Drain(time.Duration) bool
+}
+
+// engineBenchRun feeds the batches through eng in waves of waveBatches
+// with a drain barrier between waves (so no bounded queue ever
+// overflows), and returns (busy seconds summed across queries, wall
+// seconds, results). Any drop invalidates the run.
+func engineBenchRun(eng benchEngine, specs []engine.QuerySpec, batches []stream.Batch, waveBatches int) (busy, wall float64, results int64, err error) {
+	for _, spec := range specs {
+		if rerr := eng.Register(spec, nil); rerr != nil {
+			return 0, 0, 0, fmt.Errorf("engine bench: register %s on %s: %w", spec.ID, eng.EngineName(), rerr)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < len(batches); i += waveBatches {
+		end := i + waveBatches
+		if end > len(batches) {
+			end = len(batches)
+		}
+		for _, b := range batches[i:end] {
+			eng.IngestBatch(b)
+		}
+		if !eng.Drain(10 * time.Second) {
+			return 0, 0, 0, fmt.Errorf("engine bench: %s drain timed out", eng.EngineName())
+		}
+	}
+	wall = time.Since(start).Seconds()
+	for _, m := range eng.AllMetrics() {
+		busy += m.Processing.Sum
+		results += m.Results
+	}
+	for _, spec := range specs {
+		if n := eng.Dropped(spec.ID); n != 0 {
+			return 0, 0, 0, fmt.Errorf("engine bench: %s dropped %d tuples on %s; the paced feed must be lossless",
+				eng.EngineName(), n, spec.ID)
+		}
+	}
+	if results == 0 {
+		return 0, 0, 0, fmt.Errorf("engine bench: %s produced no results; workload too weak", eng.EngineName())
+	}
+	return busy, wall, results, nil
+}
+
+func runEngineBench(path string) error {
+	const (
+		batchSize = 256
+		nBatches  = 768 // 196608 tuples
+		// Baseline waves stay under the per-query queueDepth (1024
+		// tuples); shard waves can be larger since ring slots carry
+		// whole batches.
+		baselineWave = 3
+		shardWave    = 32
+	)
+	procs := runtime.GOMAXPROCS(0)
+	cat := engineBenchCatalog()
+	specs := engineBenchSpecs()
+	batches := engineBenchBatches(nBatches, batchSize)
+	tuples := nBatches * batchSize
+
+	rep := engineBenchReport{
+		Queries:   len(specs),
+		BatchSize: batchSize,
+		Tuples:    tuples,
+		Procs:     procs,
+		Shards:    procs,
+	}
+
+	base := engine.New("bench-base", cat)
+	baseBusy, baseWall, baseResults, err := engineBenchRun(base, specs, batches, baselineWave)
+	base.Close()
+	if err != nil {
+		return err
+	}
+
+	shard := engine.NewShard("bench-shard", cat, 0)
+	shardBusy, shardWall, shardResults, err := engineBenchRun(shard, specs, batches, shardWave)
+	shard.Close()
+	if err != nil {
+		return err
+	}
+	if baseResults != shardResults {
+		return fmt.Errorf("engine bench: result mismatch: baseline %d, shard %d (engines must agree before being compared)",
+			baseResults, shardResults)
+	}
+
+	rep.EngineNsPerTuple = baseBusy * 1e9 / float64(tuples)
+	rep.ShardNsPerTuple = shardBusy * 1e9 / float64(tuples)
+	rep.BusySpeedup = rep.EngineNsPerTuple / rep.ShardNsPerTuple
+	rep.EngineTuplesPerSec = float64(tuples) / baseWall
+	rep.ShardTuplesPerSec = float64(tuples) / shardWall
+	rep.Speedup = rep.ShardTuplesPerSec / rep.EngineTuplesPerSec
+
+	// Shard scaling sweep: 1, 2, 4, ... plus GOMAXPROCS itself.
+	counts := []int{}
+	for n := 1; n < procs; n *= 2 {
+		counts = append(counts, n)
+	}
+	counts = append(counts, procs)
+	for _, n := range counts {
+		eng := engine.NewShard(fmt.Sprintf("bench-shard-%d", n), cat, n)
+		_, w, _, err := engineBenchRun(eng, specs, batches, shardWave)
+		eng.Close()
+		if err != nil {
+			return err
+		}
+		rep.Scaling = append(rep.Scaling, scalePoint{Shards: n, TuplesPerSec: float64(tuples) / w})
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine bench: %d queries, %d tuples: %.0f -> %.1f ns/tuple busy (%.1fx), %.2fM -> %.2fM tuples/s wall (%.1fx)\n",
+		rep.Queries, rep.Tuples, rep.EngineNsPerTuple, rep.ShardNsPerTuple, rep.BusySpeedup,
+		rep.EngineTuplesPerSec/1e6, rep.ShardTuplesPerSec/1e6, rep.Speedup)
+	for _, p := range rep.Scaling {
+		fmt.Printf("  shards=%-2d %8.2fM tuples/s\n", p.Shards, p.TuplesPerSec/1e6)
+	}
+	if rep.Speedup < 5 {
+		return fmt.Errorf("engine bench: speedup %.2fx is below the 5x acceptance bar", rep.Speedup)
+	}
+	return nil
+}

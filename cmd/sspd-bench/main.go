@@ -44,6 +44,7 @@ func main() {
 	migration := flag.String("migration", "", "run the live-migration bench and write its JSON report to this file (non-zero exit on tuple loss or pause over budget)")
 	latencyOut := flag.String("latency", "", "run the latency-attribution bench (tuple-path overhead + federated-P99 accuracy) and write its JSON report to this file")
 	recoveryOut := flag.String("recovery", "", "run the checkpoint/crash-recovery bench (hard kill, quorum restore, bounded replay) and write its JSON report to this file (non-zero exit on committed-result loss or budget breach)")
+	engineOut := flag.String("engine", "", "run the shard-engine bench (vectorized shard engine vs. asynchronous baseline, shard scaling sweep) and write its JSON report to this file (non-zero exit below the 5x speedup bar)")
 	flag.Parse()
 	if *list {
 		for _, id := range order {
@@ -95,6 +96,13 @@ func main() {
 	}
 	if *recoveryOut != "" {
 		if err := runRecoveryBench(*recoveryOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineOut != "" {
+		if err := runEngineBench(*engineOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -39,6 +39,7 @@ func main() {
 	maxPrint := flag.Int("print", 5, "max results printed per query per second")
 	httpAddr := flag.String("http", "", "also serve the JSON API on this address (e.g. :8080)")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N published tuples (0 disables; spans at GET /traces)")
+	engineKind := flag.String("engine", "", `engine for all entities: "async" (default), "mini", "sched", or "shard"`)
 	flag.Parse()
 
 	var transport sspd.Transport
@@ -53,6 +54,7 @@ func main() {
 	fed, err := sspd.NewFederation(transport, catalog, sspd.Options{
 		Strategy: sspd.Locality,
 		Fanout:   3,
+		Engine:   *engineKind,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

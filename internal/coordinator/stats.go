@@ -61,6 +61,11 @@ type EntityStats struct {
 	PRMax      float64                `json:"pr_max"`
 	PRSpark    []float64              `json:"pr_spark,omitempty"`
 	QueryLoads map[string]float64     `json:"query_loads,omitempty"`
+	// QueryDrops counts tuples dropped per query by the hosting
+	// engines' full input queues or shard rings — the per-query drop
+	// attribution the `query`-labeled cluster metric is built from.
+	// Queries whose engines never drop (e.g. MiniEngine) are absent.
+	QueryDrops map[string]int64       `json:"query_drops,omitempty"`
 	Streams    map[string]StreamStats `json:"streams,omitempty"`
 
 	// Latency carries the entity's span-derived attribution snapshot

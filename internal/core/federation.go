@@ -61,6 +61,36 @@ type Options struct {
 	// gain must exceed before it is executed (default 1; higher values
 	// move less).
 	AdaptationHysteresis float64
+	// Engine names the engine implementation entities compile queries
+	// with when AddEntity/JoinEntity receive a nil factory: "" or
+	// "async" (the per-query-goroutine Engine), "mini" (synchronous),
+	// "sched" (single scheduler goroutine), or "shard" (the
+	// shard-per-core vectorized engine, DESIGN.md §13). An explicit
+	// factory always wins.
+	Engine string
+}
+
+// engineFactoryFor resolves an Options.Engine kind to a factory; nil
+// with no error means the entity default (the asynchronous Engine).
+func engineFactoryFor(kind string) (entity.EngineFactory, error) {
+	switch kind {
+	case "", "async":
+		return nil, nil
+	case "mini":
+		return func(name string, cat *stream.Catalog) engine.Processor {
+			return engine.NewMini(name, cat)
+		}, nil
+	case "sched":
+		return func(name string, cat *stream.Catalog) engine.Processor {
+			return engine.NewSched(name, cat, engine.PolicyFIFO)
+		}, nil
+	case "shard":
+		return func(name string, cat *stream.Catalog) engine.Processor {
+			return engine.NewShard(name, cat, 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %q (valid: async, mini, sched, shard)", kind)
+	}
 }
 
 func (o Options) normalized() Options {
@@ -334,6 +364,12 @@ func (f *Federation) AddEntity(id string, pos simnet.Point, nProcs int, factory 
 	}
 	if _, dup := f.entities[id]; dup {
 		return fmt.Errorf("core: entity %q already added", id)
+	}
+	if factory == nil {
+		var ferr error
+		if factory, ferr = engineFactoryFor(f.opts.Engine); ferr != nil {
+			return ferr
+		}
 	}
 	ent, err := entity.New(id, f.transport, f.catalog, nProcs, factory)
 	if err != nil {
@@ -721,6 +757,12 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 	}
 	if _, dup := f.entities[id]; dup {
 		return fmt.Errorf("core: entity %q already present", id)
+	}
+	if factory == nil {
+		var ferr error
+		if factory, ferr = engineFactoryFor(f.opts.Engine); ferr != nil {
+			return ferr
+		}
 	}
 	ent, err := entity.New(id, f.transport, f.catalog, nProcs, factory)
 	if err != nil {

@@ -487,6 +487,16 @@ func (p *statsPlane) fold(id string) coordinator.EntityStats {
 		}
 	}
 
+	// Per-query drop attribution (full engine queues / shard rings).
+	for _, q := range qids {
+		if dropped, ok := en.ent.QueryDrops(q); ok {
+			if row.QueryDrops == nil {
+				row.QueryDrops = make(map[string]int64, len(qids))
+			}
+			row.QueryDrops[q] = dropped
+		}
+	}
+
 	// Per-query PR and the entity PR_max.
 	for _, q := range qids {
 		if pr, ok := f.QueryPR(q); ok && pr > row.PRMax {
@@ -587,6 +597,16 @@ func (p *statsPlane) collect(emit func(metrics.Sample)) {
 		for _, q := range qids {
 			gauge("sspd_cluster_query_load", "Measured query load from the cluster digest.",
 				row.QueryLoads[q], le, metrics.L("query", q))
+		}
+		dqids := make([]string, 0, len(row.QueryDrops))
+		for q := range row.QueryDrops {
+			dqids = append(dqids, q)
+		}
+		sort.Strings(dqids)
+		for _, q := range dqids {
+			counter("sspd_cluster_query_dropped_total",
+				"Tuples dropped per query by full engine queues or shard rings.",
+				float64(row.QueryDrops[q]), le, metrics.L("query", q))
 		}
 		streams := make([]string, 0, len(row.Streams))
 		for s := range row.Streams {

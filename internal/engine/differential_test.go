@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/operator"
+	"sspd/internal/stream"
+)
+
+// The differential suite drives identical workloads through Engine,
+// MiniEngine, and ShardEngine and asserts byte-identical (ordering-
+// normalized) result sets across every stateful operator kind. It is
+// the proof obligation of the loose-coupling contract: swapping the
+// vectorized shard engine in must be invisible to the federation.
+
+func diffCatalog(t *testing.T) *stream.Catalog {
+	t.Helper()
+	cat := stream.NewCatalog()
+	quotes := stream.MustSchema("quotes",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 8},
+		stream.Field{Name: "price", Type: stream.KindFloat, Lo: 0, Hi: 100},
+		stream.Field{Name: "size", Type: stream.KindInt, Lo: 0, Hi: 1000},
+	)
+	trades := stream.MustSchema("trades",
+		stream.Field{Name: "symbol", Type: stream.KindString, Card: 8},
+		stream.Field{Name: "qty", Type: stream.KindInt, Lo: 0, Hi: 500},
+	)
+	if err := cat.Register(quotes); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(trades); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+var diffSymbols = []string{"ibm", "msft", "goog", "amzn", "aapl", "orcl", "nvda", "amd"}
+
+// diffTuples generates a deterministic interleaved workload: quotes
+// with an occasional trades tuple, fixed event timestamps.
+func diffTuples(n int) []stream.Tuple {
+	base := time.Unix(1754000000, 0).UTC()
+	rng := uint64(0x2545F4914F6CDD1D)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	out := make([]stream.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		ts := base.Add(time.Duration(i) * time.Millisecond)
+		sym := diffSymbols[next()%uint64(len(diffSymbols))]
+		if i%7 == 3 {
+			out = append(out, stream.NewTuple("trades", uint64(i), ts,
+				stream.String(sym), stream.Int(int64(next()%500))))
+			continue
+		}
+		out = append(out, stream.NewTuple("quotes", uint64(i), ts,
+			stream.String(sym), stream.Float(float64(next()%10000)/100), stream.Int(int64(next()%1000))))
+	}
+	return out
+}
+
+// diffSpecs covers all five stateful operator kinds.
+func diffSpecs() []QuerySpec {
+	w8 := stream.CountWindow(8)
+	w16 := stream.CountWindow(16)
+	return []QuerySpec{
+		{ID: "d-filter", Source: "quotes", Filters: []FilterSpec{
+			{Field: "price", Lo: 20, Hi: 80},
+			{KeyField: "symbol", Keys: []string{"ibm", "goog", "nvda"}},
+		}},
+		{ID: "d-agg", Source: "quotes",
+			Filters: []FilterSpec{{Field: "price", Lo: 10, Hi: 90}},
+			Agg:     &AggSpec{Fn: operator.AggSum, ValueField: "price", GroupField: "symbol", Window: w16}},
+		{ID: "d-join", Source: "quotes",
+			Join:    &JoinSpec{Stream: "trades", LeftKey: "symbol", RightKey: "symbol", Window: w8},
+			Filters: []FilterSpec{{Field: "l_price", Lo: 5, Hi: 95}}},
+		{ID: "d-distinct", Source: "quotes",
+			Filters:  []FilterSpec{{Field: "size", Lo: 100, Hi: 900}},
+			Distinct: &DistinctSpec{Field: "symbol", Window: w8}},
+		{ID: "d-topk", Source: "quotes",
+			TopK: &TopKSpec{K: 3, ValueField: "price", KeyField: "symbol", Window: w16}},
+	}
+}
+
+// resultSink collects rendered result tuples; safe for concurrent emit.
+type resultSink struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (s *resultSink) emit(t stream.Tuple) {
+	s.mu.Lock()
+	s.got = append(s.got, t.String())
+	s.mu.Unlock()
+}
+
+func (s *resultSink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.got))
+	copy(out, s.got)
+	sort.Strings(out)
+	return out
+}
+
+type drainable interface{ Drain(time.Duration) bool }
+
+// runWorkload feeds the tuples through one engine in same-stream waves
+// (draining at every stream switch so cross-stream arrival order is
+// deterministic — window joins are order-sensitive) and returns the
+// per-query normalized results.
+func runWorkload(t *testing.T, eng Processor, specs []QuerySpec, tuples []stream.Tuple) map[string][]string {
+	t.Helper()
+	sinks := make(map[string]*resultSink, len(specs))
+	for _, spec := range specs {
+		sink := &resultSink{}
+		sinks[spec.ID] = sink
+		if err := eng.Register(spec, sink.emit); err != nil {
+			t.Fatalf("%s: register %s: %v", eng.EngineName(), spec.ID, err)
+		}
+	}
+	drain := func() {
+		if d, ok := eng.(drainable); ok {
+			if !d.Drain(5 * time.Second) {
+				t.Fatalf("%s: drain timed out", eng.EngineName())
+			}
+		}
+	}
+	const wave = 256 // well under every queue bound: no engine may drop
+	for start := 0; start < len(tuples); {
+		end := start + 1
+		for end < len(tuples) && end-start < wave && tuples[end].Stream == tuples[start].Stream {
+			end++
+		}
+		for _, tu := range tuples[start:end] {
+			eng.Ingest(tu)
+		}
+		drain()
+		start = end
+	}
+	drain()
+	if dr, ok := eng.(DropReporter); ok {
+		for _, spec := range specs {
+			if n := dr.Dropped(spec.ID); n != 0 {
+				t.Fatalf("%s: query %s dropped %d tuples; differential run must be lossless", eng.EngineName(), spec.ID, n)
+			}
+		}
+	}
+	out := make(map[string][]string, len(specs))
+	for id, sink := range sinks {
+		out[id] = sink.sorted()
+	}
+	return out
+}
+
+func TestShardEngineDifferential(t *testing.T) {
+	cat := diffCatalog(t)
+	specs := diffSpecs()
+	tuples := diffTuples(4000)
+
+	ref := New("ref", cat)
+	defer ref.Close()
+	mini := NewMini("mini", cat)
+	defer mini.Close()
+	shard := NewShard("shard", cat, 4)
+	defer shard.Close()
+
+	want := runWorkload(t, ref, specs, tuples)
+	gotMini := runWorkload(t, mini, specs, tuples)
+	gotShard := runWorkload(t, shard, specs, tuples)
+
+	for _, spec := range specs {
+		if len(want[spec.ID]) == 0 {
+			t.Fatalf("reference engine produced no results for %s; workload too weak", spec.ID)
+		}
+		assertSameResults(t, spec.ID, "MiniEngine", want[spec.ID], gotMini[spec.ID])
+		assertSameResults(t, spec.ID, "ShardEngine", want[spec.ID], gotShard[spec.ID])
+	}
+}
+
+func assertSameResults(t *testing.T, query, engine string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s/%s: %d results, reference has %d", engine, query, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s/%s: result %d = %q, reference %q", engine, query, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardEngineSnapshotRestoreMidStream cuts a live shard mid-stream:
+// results before the snapshot plus results after restoring into a fresh
+// ShardEngine must equal an uninterrupted reference run — the engine-
+// level half of migration (PR 5) and checkpoint recovery (PR 7).
+func TestShardEngineSnapshotRestoreMidStream(t *testing.T) {
+	cat := diffCatalog(t)
+	spec := QuerySpec{ID: "d-agg", Source: "quotes",
+		Filters: []FilterSpec{{Field: "price", Lo: 10, Hi: 90}},
+		Agg: &AggSpec{Fn: operator.AggSum, ValueField: "price", GroupField: "symbol",
+			Window: stream.CountWindow(16)}}
+	all := diffTuples(3000)
+	var quotes []stream.Tuple
+	for _, tu := range all {
+		if tu.Stream == "quotes" {
+			quotes = append(quotes, tu)
+		}
+	}
+	half := len(quotes) / 2
+
+	ref := New("ref", cat)
+	defer ref.Close()
+	want := runWorkload(t, ref, []QuerySpec{spec}, quotes)[spec.ID]
+
+	first := NewShard("shard-a", cat, 2)
+	defer first.Close()
+	sinkA := &resultSink{}
+	if err := first.Register(spec, sinkA.emit); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range quotes[:half] {
+		first.Ingest(tu)
+	}
+	if !first.Drain(5 * time.Second) {
+		t.Fatal("drain before snapshot timed out")
+	}
+	st, err := first.SnapshotQueryState(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := first.QueryStateBytes(spec.ID); !ok || n <= 0 {
+		t.Fatalf("QueryStateBytes = %d, %v; want live state", n, ok)
+	}
+
+	second := NewShard("shard-b", cat, 2)
+	defer second.Close()
+	sinkB := &resultSink{}
+	if err := second.Register(spec, sinkB.emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.RestoreQueryState(spec.ID, st); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range quotes[half:] {
+		second.Ingest(tu)
+	}
+	if !second.Drain(5 * time.Second) {
+		t.Fatal("drain after restore timed out")
+	}
+
+	var got []string
+	got = append(got, sinkA.sorted()...)
+	got = append(got, sinkB.sorted()...)
+	sort.Strings(got)
+	assertSameResults(t, spec.ID, "ShardEngine(snapshot+restore)", want, got)
+}
+
+// TestShardEngineAdaptOrdering exercises the Adapter hook: skewed
+// selectivities must trigger a reorder and results must stay correct
+// afterwards (the vec pipeline resyncs to the new chain order).
+func TestShardEngineAdaptOrdering(t *testing.T) {
+	cat := diffCatalog(t)
+	spec := QuerySpec{ID: "d-adapt", Source: "quotes", Filters: []FilterSpec{
+		{Field: "price", Lo: 0, Hi: 100, Cost: 5},               // passes nearly everything, expensive
+		{KeyField: "symbol", Keys: []string{"ibm"}, Cost: 1},    // highly selective, cheap
+	}}
+	eng := NewShard("shard", cat, 1)
+	defer eng.Close()
+	sink := &resultSink{}
+	if err := eng.Register(spec, sink.emit); err != nil {
+		t.Fatal(err)
+	}
+	tuples := diffTuples(2000)
+	for _, tu := range tuples {
+		if tu.Stream == "quotes" {
+			eng.Ingest(tu)
+		}
+	}
+	if !eng.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if n := eng.AdaptOrdering(0.05); n != 1 {
+		t.Fatalf("AdaptOrdering = %d, want 1 (cheap selective filter should move first)", n)
+	}
+	before := len(sink.sorted())
+	for _, tu := range tuples {
+		if tu.Stream == "quotes" {
+			eng.Ingest(tu)
+		}
+	}
+	if !eng.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	after := len(sink.sorted())
+	if after <= before {
+		t.Fatalf("no results after reorder: before=%d after=%d", before, after)
+	}
+	got, ok := eng.Metrics(spec.ID)
+	if !ok || got.Results == 0 || got.Processing.Count == 0 {
+		t.Fatalf("Metrics = %+v, %v; want live counters", got, ok)
+	}
+}
+
+func ExampleShardEngine() {
+	cat := stream.NewCatalog()
+	_ = cat.Register(stream.MustSchema("s",
+		stream.Field{Name: "k", Type: stream.KindString},
+		stream.Field{Name: "v", Type: stream.KindFloat}))
+	eng := NewShard("example", cat, 2)
+	defer eng.Close()
+	done := make(chan string, 1)
+	_ = eng.Register(QuerySpec{ID: "q", Source: "s",
+		Filters: []FilterSpec{{Field: "v", Lo: 10, Hi: 20}}},
+		func(t stream.Tuple) { done <- t.String() })
+	eng.Ingest(stream.NewTuple("s", 1, time.Unix(0, 0), stream.String("a"), stream.Float(15)))
+	eng.Drain(time.Second)
+	fmt.Println(<-done)
+	// Output: s#1[a 15]
+}

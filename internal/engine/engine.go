@@ -73,6 +73,16 @@ type MetricsReporter interface {
 	PRMax() float64
 }
 
+// DropReporter is the optional capability of reporting per-query
+// dropped-tuple counts (full input queue or shard ring). The stats
+// plane type-asserts on it so drops become attributable per query in
+// /cluster/metrics.
+type DropReporter interface {
+	// Dropped returns the number of tuples dropped for the query so
+	// far; 0 for unknown IDs.
+	Dropped(id string) int64
+}
+
 // QueryMetrics summarizes one query's measured performance inside an
 // Engine: d (total delay), p (processing time), and the paper's
 // Performance Ratio PR = d/p.
@@ -272,22 +282,28 @@ func (e *Engine) Ingest(t stream.Tuple) {
 }
 
 // IngestBatch implements BatchIngester: one routing lookup and one
-// timestamp for the whole (same-stream) batch instead of per tuple.
-// Mixed-stream batches fall back to per-tuple routing.
+// timestamp per (stream, batch) instead of per tuple. Mixed-stream
+// batches split into contiguous same-stream runs, so the RWMutex read
+// lock is taken once per run, never per tuple.
 func (e *Engine) IngestBatch(b stream.Batch) {
 	if len(b) == 0 {
 		return
 	}
-	for i := 1; i < len(b); i++ {
-		if b[i].Stream != b[0].Stream {
-			for _, t := range b {
-				e.Ingest(t)
-			}
-			return
+	now := time.Now()
+	start := 0
+	for i := 1; i <= len(b); i++ {
+		if i < len(b) && b[i].Stream == b[start].Stream {
+			continue
 		}
+		e.ingestRun(b[start:i], now)
+		start = i
 	}
+}
+
+// ingestRun enqueues one same-stream run with a single routing lookup.
+func (e *Engine) ingestRun(run stream.Batch, now time.Time) {
 	e.mu.RLock()
-	targets := e.byInput[b[0].Stream]
+	targets := e.byInput[run[0].Stream]
 	if len(targets) == 0 {
 		e.mu.RUnlock()
 		return
@@ -296,9 +312,8 @@ func (e *Engine) IngestBatch(b stream.Batch) {
 	copy(snapshot, targets)
 	e.mu.RUnlock()
 
-	now := time.Now()
-	for i := range b {
-		item := feedItem{streamName: b[i].Stream, t: b[i], arrived: now}
+	for i := range run {
+		item := feedItem{streamName: run[i].Stream, t: run[i], arrived: now}
 		for _, rq := range snapshot {
 			rq.enqueue(item)
 		}

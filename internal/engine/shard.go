@@ -1,0 +1,901 @@
+// ShardEngine: the shard-per-core vectorized engine (DESIGN.md §13).
+//
+// Where Engine runs one goroutine per query behind a buffered channel,
+// ShardEngine runs one goroutine per CPU shard behind a bounded ring
+// queue whose slots carry whole batches. Queries are hash-partitioned
+// across shards, so a shard owns its queries outright: query state,
+// routing tables, and operator pipelines are goroutine-confined and
+// touched without locks. Producers accumulate single tuples into
+// batches, ship batches into the owning shards' rings (drop-and-count
+// on overflow — the never-block contract is unchanged), and everything
+// per-tuple inside a shard runs over columnar batches: filters are
+// vectorized kernels that only shrink a selection vector, and the
+// stateful tail runs one virtual dispatch + one stats lock per batch
+// instead of per tuple.
+//
+// Control operations (register/unregister, snapshot/restore for live
+// migration and checkpoints, adaptation) travel through the same ring
+// as data with a blocking enqueue, so they serialize with tuple
+// processing in FIFO order exactly like Engine's control items.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sspd/internal/metrics"
+	"sspd/internal/stream"
+)
+
+const (
+	// shardRingDepth bounds each shard's ring. Slots hold batches, so
+	// the tuple backlog bound is shardRingDepth × batch size.
+	shardRingDepth = 1024
+	// shardAccBatch is the accumulation target for single-tuple ingest:
+	// tuples buffer until the batch fills or the flusher tick fires.
+	shardAccBatch = 256
+	// shardFlushEvery bounds how long a trickling stream's tuples wait
+	// in an accumulator before being force-flushed.
+	shardFlushEvery = time.Millisecond
+	// shardSpin is how many empty polls a shard makes (yielding each
+	// time) before parking on its wake channel.
+	shardSpin = 64
+)
+
+// shardQuery is one query owned by one shard.
+type shardQuery struct {
+	sh  *shard
+	q   *Query
+	// vec is the compiled vectorized pipeline; nil for join queries,
+	// which fall back to per-tuple Feed inside the batch loop.
+	vec     *vecPipeline
+	results metrics.Counter
+	delay   metrics.Histogram
+	proc    metrics.Histogram
+	dropped metrics.Counter
+}
+
+// streamRoute is the producer-side routing entry for one (stream,
+// shard) pair: enqueue once per shard, attribute drops per query.
+type streamRoute struct {
+	sh *shard
+	qs []*shardQuery
+}
+
+// accKey addresses one producer-side accumulator: plain stream ingest
+// uses frag == "", addressed (DirectFeeder) delivery sets it. Keeping
+// the key a struct avoids per-tuple string concatenation.
+type accKey struct {
+	frag   string
+	stream string
+}
+
+// accum batches single-tuple ingest into ring-sized units.
+type accum struct {
+	buf     stream.Batch
+	arrived time.Time
+}
+
+// ShardEngine is the shard-per-core engine. It implements Processor,
+// DirectFeeder, BatchIngester, BatchFeeder, MetricsReporter,
+// StateSnapshotter, Adapter, and DropReporter, so entities host it
+// interchangeably with Engine — migration and checkpoint choreography
+// included.
+type ShardEngine struct {
+	name    string
+	catalog *stream.Catalog
+	shards  []*shard
+
+	// ctlMu serializes control-plane operations (Register/Unregister)
+	// end to end, so install/uninstall control items enter shard rings
+	// in a well-defined order without holding mu across a (potentially
+	// spinning) control enqueue — data-plane emit callbacks may re-enter
+	// the engine under mu.RLock.
+	ctlMu sync.Mutex
+
+	mu      sync.RWMutex
+	queries map[string]*shardQuery
+	routes  map[string][]streamRoute
+	closed  bool
+
+	accMu      sync.Mutex
+	acc        map[accKey]*accum
+	accPending atomic.Int64
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// shard is one per-core processing lane: a ring, a goroutine, and the
+// goroutine-confined query state.
+type shard struct {
+	eng  *ShardEngine
+	idx  int
+	ring *shardRing
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	// sleeping tells producers the shard has parked and needs a wake.
+	sleeping atomic.Bool
+	// pending counts enqueued ring items until fully processed, so
+	// Drain observes true idleness.
+	pending atomic.Int64
+
+	// Owned by the shard goroutine; mutated only via control items.
+	queries map[string]*shardQuery
+	byInput map[string][]*shardQuery
+	cb      *stream.ColBatch
+}
+
+// NewShard returns a ShardEngine with nShards per-core shards; nShards
+// <= 0 defaults to GOMAXPROCS.
+func NewShard(name string, catalog *stream.Catalog, nShards int) *ShardEngine {
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	e := &ShardEngine{
+		name:      name,
+		catalog:   catalog,
+		queries:   make(map[string]*shardQuery),
+		routes:    make(map[string][]streamRoute),
+		acc:       make(map[accKey]*accum),
+		stopFlush: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	for i := 0; i < nShards; i++ {
+		sh := &shard{
+			eng:     e,
+			idx:     i,
+			ring:    newShardRing(shardRingDepth),
+			wake:    make(chan struct{}, 1),
+			stop:    make(chan struct{}),
+			done:    make(chan struct{}),
+			queries: make(map[string]*shardQuery),
+			byInput: make(map[string][]*shardQuery),
+			cb:      stream.NewColBatch(),
+		}
+		e.shards = append(e.shards, sh)
+		go sh.run()
+	}
+	go e.flusher()
+	return e
+}
+
+// EngineName implements Processor.
+func (e *ShardEngine) EngineName() string { return e.name }
+
+// NumShards returns the number of per-core shards.
+func (e *ShardEngine) NumShards() int { return len(e.shards) }
+
+// shardFor hash-partitions a query ID onto a shard (FNV-1a, inlined so
+// assignment allocates nothing).
+func (e *ShardEngine) shardFor(id string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Register implements Processor: the query compiles on the caller, then
+// installs into its owning shard via a control item through the ring,
+// so installation serializes with tuple processing.
+func (e *ShardEngine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
+	e.ctlMu.Lock()
+	defer e.ctlMu.Unlock()
+	sq := &shardQuery{}
+	q, err := Compile(spec, e.catalog, func(t stream.Tuple) {
+		sq.results.Inc()
+		if emit != nil {
+			emit(t)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sq.q = q
+	if spec.Join == nil {
+		vec, verr := compileVecPipeline(spec, e.catalog, q)
+		if verr != nil {
+			return verr
+		}
+		sq.vec = vec
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine %s: closed", e.name)
+	}
+	if _, dup := e.queries[spec.ID]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine %s: query %s already registered", e.name, spec.ID)
+	}
+	sq.sh = e.shardFor(spec.ID)
+	e.queries[spec.ID] = sq
+	e.rebuildRoutes()
+	e.mu.Unlock()
+	// Install on the owning shard. Tuples dispatched between publish
+	// and install are skipped by the shard — indistinguishable from
+	// arriving just before registration.
+	c := &shardCtl{op: shardCtlInstall, sq: sq}
+	sq.sh.enqueueCtl(c)
+	<-c.done
+	return c.err
+}
+
+// Unregister implements Processor. The uninstall control item trails
+// every previously enqueued data item through the ring, so — like
+// Engine — tuples ingested before Unregister are still processed.
+func (e *ShardEngine) Unregister(id string) (QuerySpec, error) {
+	e.ctlMu.Lock()
+	defer e.ctlMu.Unlock()
+	e.mu.Lock()
+	sq, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return QuerySpec{}, fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	delete(e.queries, id)
+	e.rebuildRoutes()
+	e.mu.Unlock()
+	e.flushAll()
+	c := &shardCtl{op: shardCtlUninstall, id: id}
+	sq.sh.enqueueCtl(c)
+	<-c.done
+	return sq.q.Spec(), nil
+}
+
+// rebuildRoutes recomputes the producer-side stream routing snapshot.
+// Caller holds e.mu. Route slices are immutable once published, so
+// producers may read them after dropping the lock.
+func (e *ShardEngine) rebuildRoutes() {
+	routes := make(map[string][]streamRoute)
+	for _, sq := range e.queries {
+		for _, s := range sq.q.Spec().Streams() {
+			list := routes[s]
+			found := false
+			for i := range list {
+				if list[i].sh == sq.sh {
+					list[i].qs = append(list[i].qs, sq)
+					found = true
+					break
+				}
+			}
+			if !found {
+				list = append(list, streamRoute{sh: sq.sh, qs: []*shardQuery{sq}})
+			}
+			routes[s] = list
+		}
+	}
+	e.routes = routes
+}
+
+// Ingest implements Processor: the tuple joins its stream's
+// accumulator and ships when the batch fills (or the flusher fires).
+// It never blocks; a full shard ring drops the whole batch for that
+// shard's queries and counts every tuple.
+func (e *ShardEngine) Ingest(t stream.Tuple) {
+	e.accumulate(accKey{stream: t.Stream}, t)
+}
+
+func (e *ShardEngine) accumulate(key accKey, t stream.Tuple) {
+	var flush stream.Batch
+	var arrived time.Time
+	e.accMu.Lock()
+	a := e.acc[key]
+	if a == nil {
+		a = &accum{buf: make(stream.Batch, 0, shardAccBatch)}
+		e.acc[key] = a
+	}
+	if len(a.buf) == 0 {
+		a.arrived = time.Now()
+	}
+	a.buf = append(a.buf, t)
+	e.accPending.Add(1)
+	if len(a.buf) >= shardAccBatch {
+		flush, arrived = a.buf, a.arrived
+		a.buf = make(stream.Batch, 0, shardAccBatch)
+	}
+	e.accMu.Unlock()
+	if flush != nil {
+		e.accPending.Add(-int64(len(flush)))
+		e.dispatch(key, flush, arrived)
+	}
+}
+
+// dispatch ships one single-stream batch: to the addressed query's
+// shard when key.frag is set, otherwise to every shard hosting a query
+// of the stream.
+func (e *ShardEngine) dispatch(key accKey, b stream.Batch, arrived time.Time) {
+	if key.frag != "" {
+		e.mu.RLock()
+		sq := e.queries[key.frag]
+		e.mu.RUnlock()
+		if sq == nil {
+			return
+		}
+		if !sq.sh.enqueueData(ringItem{b: b, frag: key.frag, arrived: arrived}) {
+			sq.dropped.Add(int64(len(b)))
+		}
+		return
+	}
+	e.mu.RLock()
+	rts := e.routes[key.stream]
+	e.mu.RUnlock()
+	for i := range rts {
+		rt := &rts[i]
+		if !rt.sh.enqueueData(ringItem{b: b, arrived: arrived}) {
+			for _, sq := range rt.qs {
+				sq.dropped.Add(int64(len(b)))
+			}
+		}
+	}
+}
+
+// IngestBatch implements BatchIngester. The handed-over tuples are
+// copied once into an engine-owned slice (the engine retains batches
+// asynchronously, and the caller may reuse its slice), then contiguous
+// same-stream runs dispatch with one routing lookup each.
+func (e *ShardEngine) IngestBatch(b stream.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	if e.accPending.Load() > 0 {
+		// Pending accumulated singles must not be overtaken by this
+		// batch, or per-stream order would invert.
+		e.flushAll()
+	}
+	own := make(stream.Batch, len(b))
+	copy(own, b)
+	arrived := time.Now()
+	start := 0
+	for i := 1; i <= len(own); i++ {
+		if i == len(own) || own[i].Stream != own[start].Stream {
+			e.dispatch(accKey{stream: own[start].Stream}, own[start:i], arrived)
+			start = i
+		}
+	}
+}
+
+// FeedQuery implements DirectFeeder: addressed single tuples accumulate
+// per (query, stream) and ship to the owning shard.
+func (e *ShardEngine) FeedQuery(id string, t stream.Tuple) error {
+	e.mu.RLock()
+	_, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	e.accumulate(accKey{frag: id, stream: t.Stream}, t)
+	return nil
+}
+
+// FeedQueryBatch implements BatchFeeder: one lookup, one copy, one
+// enqueue per same-stream run.
+func (e *ShardEngine) FeedQueryBatch(id string, b stream.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	sq, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	if e.accPending.Load() > 0 {
+		e.flushAll()
+	}
+	own := make(stream.Batch, len(b))
+	copy(own, b)
+	arrived := time.Now()
+	start := 0
+	for i := 1; i <= len(own); i++ {
+		if i == len(own) || own[i].Stream != own[start].Stream {
+			if !sq.sh.enqueueData(ringItem{b: own[start:i], frag: id, arrived: arrived}) {
+				sq.dropped.Add(int64(i - start))
+			}
+			start = i
+		}
+	}
+	return nil
+}
+
+// flusher force-flushes accumulators so trickling streams never stall
+// behind the batch threshold.
+func (e *ShardEngine) flusher() {
+	defer close(e.flushDone)
+	tick := time.NewTicker(shardFlushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stopFlush:
+			return
+		case <-tick.C:
+			e.flushAll()
+		}
+	}
+}
+
+// flushAll ships every non-empty accumulator.
+func (e *ShardEngine) flushAll() {
+	type flushed struct {
+		key     accKey
+		b       stream.Batch
+		arrived time.Time
+	}
+	var out []flushed
+	e.accMu.Lock()
+	for key, a := range e.acc {
+		if len(a.buf) == 0 {
+			continue
+		}
+		out = append(out, flushed{key, a.buf, a.arrived})
+		a.buf = make(stream.Batch, 0, shardAccBatch)
+	}
+	e.accMu.Unlock()
+	for _, f := range out {
+		e.accPending.Add(-int64(len(f.b)))
+		e.dispatch(f.key, f.b, f.arrived)
+	}
+}
+
+// QueryIDs implements Processor.
+func (e *ShardEngine) QueryIDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load implements Processor: estimated query loads plus ring backlog
+// pressure.
+func (e *ShardEngine) Load() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	load := 0.0
+	for _, sq := range e.queries {
+		load += sq.q.Spec().EstimatedLoad()
+	}
+	for _, sh := range e.shards {
+		load += float64(sh.pending.Load()) / shardRingDepth
+	}
+	return load
+}
+
+// Metrics implements MetricsReporter.
+func (e *ShardEngine) Metrics(id string) (QueryMetrics, bool) {
+	e.mu.RLock()
+	sq, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return QueryMetrics{}, false
+	}
+	m := QueryMetrics{
+		ID:         id,
+		Results:    sq.results.Value(),
+		Delay:      sq.delay.Snapshot(),
+		Processing: sq.proc.Snapshot(),
+	}
+	if m.Processing.Mean > 0 {
+		m.PR = m.Delay.Mean / m.Processing.Mean
+	}
+	return m, true
+}
+
+// AllMetrics implements MetricsReporter.
+func (e *ShardEngine) AllMetrics() []QueryMetrics {
+	out := make([]QueryMetrics, 0, 8)
+	for _, id := range e.QueryIDs() {
+		if m, ok := e.Metrics(id); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PRMax implements MetricsReporter.
+func (e *ShardEngine) PRMax() float64 {
+	max := 0.0
+	for _, m := range e.AllMetrics() {
+		if m.PR > max {
+			max = m.PR
+		}
+	}
+	return max
+}
+
+// Dropped implements DropReporter: tuples dropped on full shard rings,
+// attributed per query.
+func (e *ShardEngine) Dropped(id string) int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if sq, ok := e.queries[id]; ok {
+		return sq.dropped.Value()
+	}
+	return 0
+}
+
+// Drain blocks until every accumulator and shard ring is empty and
+// processed, or the timeout elapses.
+func (e *ShardEngine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		e.flushAll()
+		pending := e.accPending.Load()
+		for _, sh := range e.shards {
+			pending += sh.pending.Load()
+		}
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Query exposes the compiled query for adaptation hooks, with the same
+// caveat as Engine.Query: the caller must not race the owning shard.
+func (e *ShardEngine) Query(id string) (*Query, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sq, ok := e.queries[id]
+	if !ok {
+		return nil, false
+	}
+	return sq.q, true
+}
+
+// AdaptOrdering implements Adapter: each shard re-evaluates its
+// queries' filter ordering on its own goroutine (serialized with
+// feeds) and resyncs the vectorized pipelines to the new chain order.
+func (e *ShardEngine) AdaptOrdering(minGain float64) int {
+	minGain = normalizeGain(minGain)
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return 0
+	}
+	ctls := make([]*shardCtl, 0, len(e.shards))
+	for _, sh := range e.shards {
+		c := &shardCtl{op: shardCtlAdapt, minGain: minGain}
+		sh.enqueueCtl(c)
+		ctls = append(ctls, c)
+	}
+	e.mu.RUnlock()
+	n := 0
+	for _, c := range ctls {
+		<-c.done
+		n += c.changed
+	}
+	return n
+}
+
+// SnapshotQueryState implements StateSnapshotter via a control item on
+// the owning shard, so state access serializes with tuple processing.
+func (e *ShardEngine) SnapshotQueryState(id string) (QueryState, error) {
+	sq, err := e.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	e.flushAll()
+	c := &shardCtl{op: shardCtlSnapshot, id: id}
+	sq.sh.enqueueCtl(c)
+	<-c.done
+	return c.snap, c.err
+}
+
+// RestoreQueryState implements StateSnapshotter.
+func (e *ShardEngine) RestoreQueryState(id string, st QueryState) error {
+	sq, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	c := &shardCtl{op: shardCtlRestore, id: id, restore: st}
+	sq.sh.enqueueCtl(c)
+	<-c.done
+	return c.err
+}
+
+// QueryStateBytes implements StateSnapshotter.
+func (e *ShardEngine) QueryStateBytes(id string) (int, bool) {
+	sq, err := e.lookup(id)
+	if err != nil {
+		return 0, false
+	}
+	c := &shardCtl{op: shardCtlBytes, id: id}
+	sq.sh.enqueueCtl(c)
+	<-c.done
+	return c.bytes, true
+}
+
+func (e *ShardEngine) lookup(id string) (*shardQuery, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("engine %s: closed", e.name)
+	}
+	sq, ok := e.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("engine %s: unknown query %s", e.name, id)
+	}
+	return sq, nil
+}
+
+// Close implements Processor: flush, drain every shard, stop.
+func (e *ShardEngine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopFlush)
+	<-e.flushDone
+	e.flushAll()
+	for _, sh := range e.shards {
+		close(sh.stop)
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	e.mu.Lock()
+	e.queries = make(map[string]*shardQuery)
+	e.routes = make(map[string][]streamRoute)
+	e.mu.Unlock()
+}
+
+// ---- shard side ----
+
+// shardCtl ops.
+const (
+	shardCtlInstall = iota + 1
+	shardCtlUninstall
+	shardCtlSnapshot
+	shardCtlRestore
+	shardCtlBytes
+	shardCtlAdapt
+)
+
+// shardCtl is a control item executed on the shard goroutine, FIFO
+// with data items (it travels through the same ring).
+type shardCtl struct {
+	op      int
+	sq      *shardQuery // install
+	id      string      // uninstall/snapshot/restore/bytes
+	restore QueryState
+	snap    QueryState
+	bytes   int
+	minGain float64
+	changed int
+	err     error
+	done    chan struct{}
+}
+
+// enqueueData publishes a data item; false means the ring was full and
+// the caller must count the drop.
+func (sh *shard) enqueueData(item ringItem) bool {
+	if !sh.ring.enqueue(item) {
+		return false
+	}
+	sh.pending.Add(1)
+	sh.wakeup()
+	return true
+}
+
+// enqueueCtl publishes a control item with a blocking (spinning)
+// enqueue — control is never dropped. The consumer keeps draining, so
+// the spin terminates unless the shard has already stopped.
+func (sh *shard) enqueueCtl(c *shardCtl) {
+	c.done = make(chan struct{})
+	item := ringItem{ctl: c}
+	for !sh.ring.enqueue(item) {
+		select {
+		case <-sh.done:
+			c.err = fmt.Errorf("engine %s: shard %d stopped", sh.eng.name, sh.idx)
+			close(c.done)
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+	sh.pending.Add(1)
+	sh.wakeup()
+}
+
+func (sh *shard) wakeup() {
+	if sh.sleeping.Load() {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the shard goroutine: drain the ring, spin briefly when empty,
+// then park until a producer wakes it. On stop it drains what remains
+// (Engine parity: tuples enqueued before Close are processed).
+func (sh *shard) run() {
+	defer close(sh.done)
+	idle := 0
+	for {
+		item, ok := sh.ring.dequeue()
+		if ok {
+			sh.process(item)
+			sh.pending.Add(-1)
+			idle = 0
+			continue
+		}
+		select {
+		case <-sh.stop:
+			for {
+				item, ok := sh.ring.dequeue()
+				if !ok {
+					return
+				}
+				sh.process(item)
+				sh.pending.Add(-1)
+			}
+		default:
+		}
+		if idle < shardSpin {
+			idle++
+			runtime.Gosched()
+			continue
+		}
+		sh.sleeping.Store(true)
+		if !sh.ring.empty() {
+			sh.sleeping.Store(false)
+			idle = 0
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-sh.stop:
+		}
+		sh.sleeping.Store(false)
+		idle = 0
+	}
+}
+
+// process executes one ring item on the shard goroutine.
+func (sh *shard) process(item ringItem) {
+	if item.ctl != nil {
+		sh.processCtl(item.ctl)
+		return
+	}
+	if len(item.b) == 0 {
+		return
+	}
+	if item.frag != "" {
+		if sq, ok := sh.queries[item.frag]; ok {
+			sh.feedBatch(sq, item, true)
+		}
+		return
+	}
+	targets := sh.byInput[item.b[0].Stream]
+	if len(targets) == 0 {
+		return
+	}
+	sh.cb.Reset(item.b)
+	for _, sq := range targets {
+		sh.feedBatch(sq, item, false)
+	}
+}
+
+// feedBatch runs one same-stream batch through one query: the
+// vectorized pipeline when compiled, per-tuple Feed otherwise (joins).
+// Exactly two timestamps are taken per (query, batch) — the rule the
+// kernels rely on — and the per-tuple delay/processing histograms are
+// updated with one weighted observation each.
+func (sh *shard) feedBatch(sq *shardQuery, item ringItem, fresh bool) {
+	b := item.b
+	start := time.Now()
+	if sq.vec != nil && b[0].Stream == sq.q.spec.Source {
+		cb := sh.cb
+		if fresh {
+			cb.Reset(b)
+		} else {
+			cb.ResetSel()
+		}
+		sq.vec.run(cb, sq.q)
+	} else {
+		streamName := b[0].Stream
+		for i := range b {
+			sq.q.Feed(streamName, b[i])
+		}
+	}
+	end := time.Now()
+	n := int64(len(b))
+	el := end.Sub(start).Seconds()
+	sq.proc.ObserveN(el/float64(n), n)
+	sq.delay.ObserveN(end.Sub(item.arrived).Seconds(), n)
+}
+
+// processCtl executes one control item.
+func (sh *shard) processCtl(c *shardCtl) {
+	defer close(c.done)
+	switch c.op {
+	case shardCtlInstall:
+		sq := c.sq
+		id := sq.q.ID()
+		sh.queries[id] = sq
+		for _, s := range sq.q.Spec().Streams() {
+			sh.byInput[s] = append(sh.byInput[s], sq)
+		}
+	case shardCtlUninstall:
+		sq, ok := sh.queries[c.id]
+		if !ok {
+			c.err = fmt.Errorf("engine %s: unknown query %s", sh.eng.name, c.id)
+			return
+		}
+		delete(sh.queries, c.id)
+		for _, s := range sq.q.Spec().Streams() {
+			list := sh.byInput[s]
+			for i := range list {
+				if list[i] == sq {
+					sh.byInput[s] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(sh.byInput[s]) == 0 {
+				delete(sh.byInput, s)
+			}
+		}
+	case shardCtlSnapshot:
+		if sq, ok := sh.queries[c.id]; ok {
+			c.snap = snapshotQuery(sq.q)
+		} else {
+			c.err = fmt.Errorf("engine %s: unknown query %s", sh.eng.name, c.id)
+		}
+	case shardCtlRestore:
+		if sq, ok := sh.queries[c.id]; ok {
+			c.err = restoreQuery(sq.q, c.restore)
+		} else {
+			c.err = fmt.Errorf("engine %s: unknown query %s", sh.eng.name, c.id)
+		}
+	case shardCtlBytes:
+		if sq, ok := sh.queries[c.id]; ok {
+			c.bytes = queryStateBytes(sq.q)
+		} else {
+			c.err = fmt.Errorf("engine %s: unknown query %s", sh.eng.name, c.id)
+		}
+	case shardCtlAdapt:
+		for _, sq := range sh.queries {
+			if maybeReorder(sq.q, c.minGain) {
+				if sq.vec != nil {
+					sq.vec.resync(sq.q)
+				}
+				c.changed++
+			}
+		}
+	}
+}
+
+var (
+	_ Processor        = (*ShardEngine)(nil)
+	_ DirectFeeder     = (*ShardEngine)(nil)
+	_ BatchIngester    = (*ShardEngine)(nil)
+	_ BatchFeeder      = (*ShardEngine)(nil)
+	_ MetricsReporter  = (*ShardEngine)(nil)
+	_ StateSnapshotter = (*ShardEngine)(nil)
+	_ Adapter          = (*ShardEngine)(nil)
+	_ DropReporter     = (*ShardEngine)(nil)
+	_ DropReporter     = (*Engine)(nil)
+	_ DropReporter     = (*SchedEngine)(nil)
+)

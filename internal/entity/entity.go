@@ -494,6 +494,34 @@ func (e *Entity) QueryWork(id string) (busySeconds float64, results int64, ok bo
 	return busySeconds, results, ok
 }
 
+// QueryDrops reports the tuples dropped for a placed query by its
+// hosting engines' full input queues or shard rings, summed over
+// fragments. ok is false when the query is unknown or no hosting
+// engine reports drops (e.g. MiniEngine, which never drops).
+func (e *Entity) QueryDrops(id string) (dropped int64, ok bool) {
+	e.mu.Lock()
+	pq, found := e.queries[id]
+	if !found {
+		e.mu.Unlock()
+		return 0, false
+	}
+	frags := pq.frags
+	procs := make([]*procNode, len(pq.frags))
+	for i := range pq.frags {
+		procs[i] = e.procs[pq.procs[i]]
+	}
+	e.mu.Unlock()
+	for i, frag := range frags {
+		rep, isRep := procs[i].eng.(engine.DropReporter)
+		if !isRep {
+			continue
+		}
+		dropped += rep.Dropped(frag.ID)
+		ok = true
+	}
+	return dropped, ok
+}
+
 // Interest derives the entity's aggregated data interest in one stream:
 // the union of its placed queries' interests — what the entity registers
 // up the dissemination tree.

@@ -148,6 +148,44 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveN records n identical samples of v with one lock acquisition —
+// the batch-granularity write path of the vectorized engine, which
+// measures per-batch and attributes per-tuple. Count and Sum advance by
+// n and n*v (so Mean stays a per-tuple mean and Sum stays total
+// seconds), while the reservoir receives a single representative
+// sample: quantiles are then per-batch-mean order statistics, an
+// acceptable coarsening the engine's PR computation (which uses means)
+// never observes.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * float64(n)
+	if len(h.samples) < histogramReservoir {
+		h.samples = append(h.samples, v)
+		return
+	}
+	if h.rngState == 0 {
+		h.rngState = 0x9E3779B97F4A7C15
+	}
+	h.rngState ^= h.rngState << 13
+	h.rngState ^= h.rngState >> 7
+	h.rngState ^= h.rngState << 17
+	j := h.rngState % uint64(h.count)
+	if j < uint64(len(h.samples)) {
+		h.samples[j] = v
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	h.mu.Lock()

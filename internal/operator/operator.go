@@ -77,6 +77,28 @@ func (s *Stats) record(outputs int) {
 	}
 }
 
+// RecordBatch folds one vectorized kernel invocation — in tuples
+// consumed, out survivors — into the statistics with a single lock
+// acquisition. The selectivity EWMA receives the batch's out/in ratio
+// as one sample, so adaptive ordering sees the same smoothed signal it
+// gets from per-tuple record calls, at batch cost.
+func (s *Stats) RecordBatch(in, out int) {
+	if in <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.in += int64(in)
+	s.out += int64(out)
+	sample := float64(out) / float64(in)
+	if !s.sel.init {
+		s.sel.value = sample
+		s.sel.init = true
+	} else {
+		s.sel.value = s.sel.alpha*sample + (1-s.sel.alpha)*s.sel.value
+	}
+}
+
 // In returns the number of tuples consumed.
 func (s *Stats) In() int64 {
 	s.mu.Lock()

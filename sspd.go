@@ -148,12 +148,24 @@ type (
 	HybridRepartitioner = querygraph.HybridRepartitioner
 )
 
-// Engine constructors: the two bundled engine implementations.
+// Engine constructors: the bundled engine implementations.
 var (
 	// NewEngine builds the full asynchronous engine.
 	NewEngine = engine.New
 	// NewMiniEngine builds the synchronous reference engine.
 	NewMiniEngine = engine.NewMini
+	// NewShardEngine builds the shard-per-core vectorized engine
+	// (nShards 0 picks GOMAXPROCS).
+	NewShardEngine = engine.NewShard
+)
+
+// Shard-engine surface: the per-core vectorized engine and the optional
+// drop-attribution capability engines with bounded queues implement.
+type (
+	// ShardEngine is the shard-per-core vectorized engine.
+	ShardEngine = engine.ShardEngine
+	// DropReporter exposes per-query drop counts from bounded queues.
+	DropReporter = engine.DropReporter
 )
 
 // Workload generators.
