@@ -74,8 +74,13 @@ type accKey struct {
 	stream string
 }
 
-// accum batches single-tuple ingest into ring-sized units.
+// accum batches single-tuple ingest into ring-sized units. mu guards
+// the buffer AND stays held across dispatch of a filled/flushed batch,
+// so two batches of the same key can never enter a ring out of order
+// (dispatch only does non-blocking enqueues, so the hold is bounded).
+// The engine-level accMu only guards the acc map itself.
 type accum struct {
+	mu      sync.Mutex
 	buf     stream.Batch
 	arrived time.Time
 }
@@ -234,16 +239,21 @@ func (e *ShardEngine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
 func (e *ShardEngine) Unregister(id string) (QuerySpec, error) {
 	e.ctlMu.Lock()
 	defer e.ctlMu.Unlock()
-	e.mu.Lock()
+	e.mu.RLock()
 	sq, ok := e.queries[id]
+	e.mu.RUnlock()
 	if !ok {
-		e.mu.Unlock()
 		return QuerySpec{}, fmt.Errorf("engine %s: unknown query %s", e.name, id)
 	}
+	// Flush while the query is still routed, so tuples accumulated
+	// before this call reach the ring ahead of the uninstall item and
+	// are still processed (the contract documented above). ctlMu keeps
+	// a concurrent Register/Unregister from racing the removal below.
+	e.flushAll()
+	e.mu.Lock()
 	delete(e.queries, id)
 	e.rebuildRoutes()
 	e.mu.Unlock()
-	e.flushAll()
 	c := &shardCtl{op: shardCtlUninstall, id: id}
 	sq.sh.enqueueCtl(c)
 	<-c.done
@@ -284,28 +294,26 @@ func (e *ShardEngine) Ingest(t stream.Tuple) {
 }
 
 func (e *ShardEngine) accumulate(key accKey, t stream.Tuple) {
-	var flush stream.Batch
-	var arrived time.Time
 	e.accMu.Lock()
 	a := e.acc[key]
 	if a == nil {
 		a = &accum{buf: make(stream.Batch, 0, shardAccBatch)}
 		e.acc[key] = a
 	}
+	e.accMu.Unlock()
+	a.mu.Lock()
 	if len(a.buf) == 0 {
 		a.arrived = time.Now()
 	}
 	a.buf = append(a.buf, t)
 	e.accPending.Add(1)
 	if len(a.buf) >= shardAccBatch {
-		flush, arrived = a.buf, a.arrived
+		flush, arrived := a.buf, a.arrived
 		a.buf = make(stream.Batch, 0, shardAccBatch)
-	}
-	e.accMu.Unlock()
-	if flush != nil {
-		e.accPending.Add(-int64(len(flush)))
 		e.dispatch(key, flush, arrived)
+		e.accPending.Add(-int64(len(flush)))
 	}
+	a.mu.Unlock()
 }
 
 // dispatch ships one single-stream batch: to the addressed query's
@@ -421,26 +429,29 @@ func (e *ShardEngine) flusher() {
 	}
 }
 
-// flushAll ships every non-empty accumulator.
+// flushAll ships every non-empty accumulator. Each key's swap+dispatch
+// runs under that key's accum.mu, so a flush can never reorder against
+// a concurrent fill-triggered dispatch of the same key.
 func (e *ShardEngine) flushAll() {
-	type flushed struct {
-		key     accKey
-		b       stream.Batch
-		arrived time.Time
+	type keyed struct {
+		key accKey
+		a   *accum
 	}
-	var out []flushed
 	e.accMu.Lock()
+	accs := make([]keyed, 0, len(e.acc))
 	for key, a := range e.acc {
-		if len(a.buf) == 0 {
-			continue
-		}
-		out = append(out, flushed{key, a.buf, a.arrived})
-		a.buf = make(stream.Batch, 0, shardAccBatch)
+		accs = append(accs, keyed{key, a})
 	}
 	e.accMu.Unlock()
-	for _, f := range out {
-		e.accPending.Add(-int64(len(f.b)))
-		e.dispatch(f.key, f.b, f.arrived)
+	for _, ka := range accs {
+		ka.a.mu.Lock()
+		if len(ka.a.buf) > 0 {
+			flush, arrived := ka.a.buf, ka.a.arrived
+			ka.a.buf = make(stream.Batch, 0, shardAccBatch)
+			e.dispatch(ka.key, flush, arrived)
+			e.accPending.Add(-int64(len(flush)))
+		}
+		ka.a.mu.Unlock()
 	}
 }
 
@@ -561,9 +572,14 @@ func (e *ShardEngine) Query(id string) (*Query, bool) {
 // feeds) and resyncs the vectorized pipelines to the new chain order.
 func (e *ShardEngine) AdaptOrdering(minGain float64) int {
 	minGain = normalizeGain(minGain)
+	// Check closed under the lock, but enqueue without it: emit callbacks
+	// on shard goroutines re-enter the engine under mu.RLock, so spinning
+	// on a full ring while holding mu (with a writer queued) would
+	// deadlock the whole engine. e.shards is immutable after NewShard.
 	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
 		return 0
 	}
 	ctls := make([]*shardCtl, 0, len(e.shards))
@@ -572,7 +588,6 @@ func (e *ShardEngine) AdaptOrdering(minGain float64) int {
 		sh.enqueueCtl(c)
 		ctls = append(ctls, c)
 	}
-	e.mu.RUnlock()
 	n := 0
 	for _, c := range ctls {
 		<-c.done
@@ -690,10 +705,14 @@ type shardCtl struct {
 // enqueueData publishes a data item; false means the ring was full and
 // the caller must count the drop.
 func (sh *shard) enqueueData(item ringItem) bool {
+	// Count before publishing: if the consumer could dequeue and
+	// decrement before our increment, pending would dip negative and
+	// Drain could sum a spurious zero across shards while work remains.
+	sh.pending.Add(1)
 	if !sh.ring.enqueue(item) {
+		sh.pending.Add(-1)
 		return false
 	}
-	sh.pending.Add(1)
 	sh.wakeup()
 	return true
 }
@@ -704,9 +723,11 @@ func (sh *shard) enqueueData(item ringItem) bool {
 func (sh *shard) enqueueCtl(c *shardCtl) {
 	c.done = make(chan struct{})
 	item := ringItem{ctl: c}
+	sh.pending.Add(1) // count before publish; see enqueueData
 	for !sh.ring.enqueue(item) {
 		select {
 		case <-sh.done:
+			sh.pending.Add(-1)
 			c.err = fmt.Errorf("engine %s: shard %d stopped", sh.eng.name, sh.idx)
 			close(c.done)
 			return
@@ -714,7 +735,6 @@ func (sh *shard) enqueueCtl(c *shardCtl) {
 			runtime.Gosched()
 		}
 	}
-	sh.pending.Add(1)
 	sh.wakeup()
 }
 

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sspd/internal/stream"
+)
+
+// Regression tests for the ShardEngine concurrency review: accumulator
+// dispatch ordering, unregister flush semantics, the pending counter,
+// and AdaptOrdering's lock discipline around spinning control enqueues.
+
+func regressCatalog(t *testing.T) *stream.Catalog {
+	t.Helper()
+	cat := stream.NewCatalog()
+	sc := stream.MustSchema("events",
+		stream.Field{Name: "producer", Type: stream.KindInt, Lo: 0, Hi: 16},
+		stream.Field{Name: "seq", Type: stream.KindInt, Lo: 0, Hi: 1 << 40},
+	)
+	if err := cat.Register(sc); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestShardEngineUnregisterFlushesAccumulated: tuples sitting in an
+// accumulator (below the batch threshold) when Unregister is called
+// must still be processed — the flush has to happen while the query is
+// still routed, and the uninstall control item trails it through the
+// ring.
+func TestShardEngineUnregisterFlushesAccumulated(t *testing.T) {
+	cat := regressCatalog(t)
+	eng := NewShard("regress", cat, 2)
+	defer eng.Close()
+
+	var emitted atomic.Int64
+	spec := QuerySpec{ID: "u", Source: "events"}
+	if err := eng.Register(spec, func(stream.Tuple) { emitted.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50 // well under shardAccBatch: stays in the accumulator
+	base := time.Unix(1754000000, 0).UTC()
+	for i := 0; i < n; i++ {
+		eng.Ingest(stream.NewTuple("events", uint64(i), base,
+			stream.Int(0), stream.Int(int64(i))))
+	}
+	if _, err := eng.Unregister("u"); err != nil {
+		t.Fatal(err)
+	}
+	// Unregister waits for the uninstall control item, which trails the
+	// flushed batch through the ring: every ingested tuple is processed
+	// by the time it returns.
+	if got := emitted.Load(); got != n {
+		t.Fatalf("emitted %d of %d tuples ingested before Unregister", got, n)
+	}
+	if d := eng.Dropped("u"); d != 0 {
+		t.Fatalf("Dropped = %d, want 0", d)
+	}
+}
+
+// TestShardEnginePerProducerOrderPreserved: dispatch of a filled
+// accumulator batch must not be overtaken by a later batch of the same
+// key (e.g. the flusher tick grabbing the refilled buffer first). Each
+// producer's tuples are appended in seq order under the accumulator
+// lock, so each producer's seq sequence must emerge from the (single)
+// shard monotonically.
+func TestShardEnginePerProducerOrderPreserved(t *testing.T) {
+	cat := regressCatalog(t)
+	eng := NewShard("regress", cat, 1)
+	defer eng.Close()
+
+	var mu sync.Mutex
+	var got []stream.Tuple
+	spec := QuerySpec{ID: "ord", Source: "events"}
+	if err := eng.Register(spec, func(tu stream.Tuple) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const producers = 2
+	const perProducer = 30000
+	base := time.Unix(1754000000, 0).UTC()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				eng.Ingest(stream.NewTuple("events", uint64(i), base,
+					stream.Int(int64(p)), stream.Int(int64(i))))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if !eng.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if d := eng.Dropped("ord"); d != 0 {
+		t.Skipf("ring dropped %d tuples; ordering check needs a lossless run", d)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	last := make([]int64, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for i, tu := range got {
+		p := tu.Value(0).AsInt()
+		seq := tu.Value(1).AsInt()
+		if seq <= last[p] {
+			t.Fatalf("result %d: producer %d seq %d after seq %d — per-key batch order inverted", i, p, seq, last[p])
+		}
+		last[p] = seq
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("got %d results, want %d", len(got), producers*perProducer)
+	}
+}
+
+// TestShardEnginePendingNonNegative: the pending counter is incremented
+// before the ring publish, so it can never dip negative — Drain sums it
+// across shards and a transient negative could fake an all-idle zero.
+func TestShardEnginePendingNonNegative(t *testing.T) {
+	cat := regressCatalog(t)
+	eng := NewShard("regress", cat, 2)
+	defer eng.Close()
+	spec := QuerySpec{ID: "p", Source: "events"}
+	if err := eng.Register(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sh := range eng.shards {
+				if sh.pending.Load() < 0 {
+					bad.Add(1)
+				}
+			}
+		}
+	}()
+
+	base := time.Unix(1754000000, 0).UTC()
+	b := make(stream.Batch, 64)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	seq := uint64(0)
+	for time.Now().Before(deadline) {
+		for i := range b {
+			b[i] = stream.NewTuple("events", seq, base, stream.Int(0), stream.Int(int64(seq)))
+			seq++
+		}
+		eng.IngestBatch(b)
+	}
+	close(stop)
+	sampler.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("observed negative shard pending %d times", n)
+	}
+}
+
+// TestShardEngineAdaptRingFullWriterQueuedNoDeadlock reconstructs the
+// review deadlock deterministically:
+//
+//  1. the consumer shard blocks inside an emit callback (gate), and the
+//     ring behind it fills to capacity;
+//  2. AdaptOrdering starts — its control enqueue must spin on the full
+//     ring;
+//  3. a writer (Register) queues for mu.Lock;
+//  4. the gate opens and the consumer's next emit re-enters the engine
+//     under mu.RLock.
+//
+// If AdaptOrdering held mu.RLock across the spinning enqueue, the
+// queued writer would block the emit's RLock behind it, the ring would
+// never drain, and the spin would never end — engine-wide deadlock.
+// With the fix everything completes promptly.
+func TestShardEngineAdaptRingFullWriterQueuedNoDeadlock(t *testing.T) {
+	cat := regressCatalog(t)
+	eng := NewShard("regress", cat, 2)
+
+	gate := make(chan struct{})
+	ready := make(chan struct{})
+	var once sync.Once
+	spec := QuerySpec{ID: "slow", Source: "events"}
+	if err := eng.Register(spec, func(stream.Tuple) {
+		once.Do(func() {
+			close(ready) // consumer is now parked inside processing
+			<-gate
+		})
+		eng.Dropped("slow") // re-enter the engine under mu.RLock
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the owning shard's ring to capacity behind the gated batch.
+	sh := eng.shardFor("slow")
+	base := time.Unix(1754000000, 0).UTC()
+	b := make(stream.Batch, 8)
+	seq := uint64(0)
+	fill := time.Now().Add(10 * time.Second)
+	for sh.pending.Load() <= shardRingDepth {
+		for i := range b {
+			b[i] = stream.NewTuple("events", seq, base, stream.Int(0), stream.Int(int64(seq)))
+			seq++
+		}
+		eng.IngestBatch(b)
+		if time.Now().After(fill) {
+			t.Fatal("could not fill shard ring")
+		}
+	}
+	<-ready
+
+	done := make(chan struct{}, 2)
+	go func() { // spins on the full ring until the consumer drains
+		eng.AdaptOrdering(0.5)
+		done <- struct{}{}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go func() { // writer queues on mu.Lock
+		if err := eng.Register(QuerySpec{ID: "w", Source: "events"}, nil); err != nil {
+			t.Error(err)
+		}
+		done <- struct{}{}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("deadlock: AdaptOrdering/Register never completed with a full ring and a queued writer")
+		}
+	}
+	if !eng.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	eng.Close()
+}
