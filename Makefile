@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench-engine bench
+.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine bench
 
-check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-migration bench-latency bench-recovery bench-engine
+check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine
 
 vet:
 	$(GO) vet ./...
@@ -28,9 +28,9 @@ lint-obslog:
 		exit 1; \
 	fi
 	@echo "lint-obslog: clean"
-	@bad=$$(grep -rnE 'time\.Now\(' internal/engine/kernels.go internal/stream/colbatch.go || true); \
+	@bad=$$(grep -rnE 'time\.Now\(' internal/engine/kernels.go internal/stream/colbatch.go internal/engine/ring.go || true); \
 	if [ -n "$$bad" ]; then \
-		echo "lint-obslog: no clock reads inside vectorized kernel inner loops (one timestamp per batch, taken by the shard loop):"; \
+		echo "lint-obslog: no clock reads inside vectorized kernel inner loops or the shard ring publish path (one timestamp per batch, taken by the shard loop):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi
@@ -74,6 +74,12 @@ bench-tuplepath:
 # if enabling the plane costs the tuple path more than 1%.
 bench-statsplane:
 	$(GO) run ./cmd/sspd-bench -statsplane BENCH_observability.json
+
+# Appends the engine-introspection costs (tuple path through shard
+# engines with the plane on vs. off) into BENCH_observability.json.
+# Fails if enabling the plane costs the tuple path more than 1%.
+bench-engineobs:
+	$(GO) run ./cmd/sspd-bench -engineobs BENCH_observability.json
 
 # Regenerates BENCH_migration.json: a windowed aggregate live-migrated
 # around the cluster mid-stream on a jittery transport. Fails on any

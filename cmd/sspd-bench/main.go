@@ -39,6 +39,7 @@ func main() {
 	obs := flag.String("observability", "", "run the observability overhead bench and write its JSON report to this file")
 	tuplepath := flag.String("tuplepath", "", "run the hot-tuple-path bench (codec/match/relay) and write its JSON report to this file")
 	statsplane := flag.String("statsplane", "", "run the stats-plane overhead bench and append its results into this JSON report (typically BENCH_observability.json)")
+	engineobs := flag.String("engineobs", "", "run the engine-introspection overhead bench and append its results into this JSON report (typically BENCH_observability.json)")
 	chaos := flag.String("chaos", "", "run the chaos/recovery bench with this fault spec, e.g. drop=0.05,dup=0.02,partition=500ms,crash=1,seed=7")
 	chaosOut := flag.String("chaos-out", "BENCH_robustness.json", "output path for the chaos bench JSON report")
 	migration := flag.String("migration", "", "run the live-migration bench and write its JSON report to this file (non-zero exit on tuple loss or pause over budget)")
@@ -68,6 +69,13 @@ func main() {
 	}
 	if *statsplane != "" {
 		if err := runStatsplaneBench(*statsplane); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineobs != "" {
+		if err := runEngineobsBench(*engineobs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

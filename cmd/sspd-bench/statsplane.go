@@ -211,8 +211,9 @@ func runStatsplaneBench(path string) error {
 }
 
 // appendReport read-modify-writes rep's fields into the JSON object at
-// path, preserving whatever the observability bench already wrote.
-func appendReport(path string, rep statsplaneReport) error {
+// path, preserving whatever the other observability benches already
+// wrote.
+func appendReport(path string, rep any) error {
 	merged := map[string]any{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &merged); err != nil {

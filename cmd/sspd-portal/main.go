@@ -11,6 +11,7 @@
 //	\drop <id>                              withdraw a query
 //	\stats                                  federation statistics
 //	\cluster                                cluster health from the root stats digest
+//	\engine                                 shard table: occupancy, drops, kernel hit-rate
 //	\events [kind]                          recent structured events (optionally filtered)
 //	\rebalance                              run a hybrid rebalance
 //	\save <file> / \load <file>             snapshot / restore the query set
@@ -40,6 +41,7 @@ func main() {
 	httpAddr := flag.String("http", "", "also serve the JSON API on this address (e.g. :8080)")
 	traceEvery := flag.Int("trace", 0, "trace 1 in N published tuples (0 disables; spans at GET /traces)")
 	engineKind := flag.String("engine", "", `engine for all entities: "async" (default), "mini", "sched", or "shard"`)
+	profDir := flag.String("profdir", "", "store continuous-profiling pprof captures in this directory (serves GET /profiles)")
 	flag.Parse()
 
 	var transport sspd.Transport
@@ -135,6 +137,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// The engine introspection plane powers \engine, /cluster/engine,
+	// and the backpressure watchdog; it rides the stats ticks.
+	if err := fed.EnableEngineIntrospection(statsPeriod); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Continuous profiling is opt-in: it writes pprof files to disk.
+	if *profDir != "" {
+		if err := fed.EnableProfiling(*profDir, 30*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *httpAddr != "" {
 		api, err := httpapi.New(fed, sspd.Point{X: 50, Y: 50})
@@ -216,6 +231,37 @@ func main() {
 				}
 			}
 			fmt.Printf("  relay traffic: %dKB in %d messages\n", bytes/1024, msgs)
+		case line == `\engine`:
+			view, ok := fed.ClusterEngine()
+			if !ok {
+				fmt.Println("  engine introspection not enabled")
+				continue
+			}
+			fmt.Printf("  drop rate %.2f%%  ring occ p99 %.1f%%", 100*view.DropRate, 100*view.RingOccP99)
+			if view.Saturated {
+				fmt.Print("  SATURATED")
+			}
+			fmt.Println()
+			fmt.Printf("  %-6s %-10s %5s %6s %5s %9s %8s %7s %7s\n",
+				"entity", "engine", "shard", "occ", "hw", "tuples", "dropped", "kernel", "select")
+			for _, ee := range view.Entities {
+				for _, sh := range ee.Stats.Shards {
+					kernel := "—"
+					if sh.Tuples > 0 {
+						kernel = fmt.Sprintf("%.1f%%", 100*sh.KernelShare())
+					}
+					sel := "—"
+					if sh.KernelIn > 0 {
+						sel = fmt.Sprintf("%.1f%%", 100*sh.Selectivity())
+					}
+					fmt.Printf("  %-6s %-10s %5d %6d %5d %9d %8d %7s %7s\n",
+						ee.Entity, sh.Engine, sh.Shard, sh.Occupancy, sh.HighWater,
+						sh.Tuples, sh.Dropped, kernel, sel)
+				}
+				if len(ee.Stats.Shards) == 0 {
+					fmt.Printf("  %-6s (no introspectable engine)\n", ee.Entity)
+				}
+			}
 		case line == `\events` || strings.HasPrefix(line, `\events `):
 			kind := strings.TrimSpace(strings.TrimPrefix(line, `\events`))
 			events := fed.Journal().Recent(20)

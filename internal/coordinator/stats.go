@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"sspd/internal/engine"
 	"sspd/internal/latency"
 	"sspd/internal/metrics"
 	"sspd/internal/simnet"
@@ -75,6 +76,20 @@ type EntityStats struct {
 	// cluster-wide percentiles per stage. Nil when the latency plane is
 	// not enabled.
 	Latency *latency.Attribution `json:"latency,omitempty"`
+
+	// Engine carries the entity's shard-engine introspection snapshot
+	// (DESIGN.md §14): per-shard ring occupancy, drops, kernel split.
+	// Federated like Latency — newest-seq-wins, whole row — so the root
+	// digest answers cluster-wide shard heatmaps. Nil when the entity
+	// runs no introspectable engine or the plane is not enabled.
+	Engine *engine.EngineStats `json:"engine,omitempty"`
+	// Dropped is the entity's engine-lifetime dropped-tuple total across
+	// all processors — unlike QueryDrops it keeps counting for queries
+	// that were unregistered or migrated away.
+	Dropped int64 `json:"dropped,omitempty"`
+	// DropSpark is the recent drops-per-second history (last SparkLen
+	// fold deltas, oldest first), the ops-view drop sparkline.
+	DropSpark []float64 `json:"drop_spark,omitempty"`
 
 	SendErrors   int64 `json:"send_errors"`
 	DecodeErrors int64 `json:"decode_errors"`

@@ -1,0 +1,519 @@
+package core
+
+// The engine introspection plane (DESIGN.md §14): per-shard telemetry
+// snapshots federated up the coordinator stats tree, a backpressure
+// watchdog reusing the SLO rule machinery over windowed engine-level
+// quantities (drop rate, p99 ring occupancy), and sspd_engine_* metric
+// families rendered on both the local and the cluster registry. The
+// watchdog journals engine.saturated / engine.recovered transitions
+// and, when continuous profiling is enabled, triggers a capture on the
+// saturation edge — so the profile ring holds the flame graph of the
+// overload, not of the quiet aftermath.
+//
+// Snapshots walk engine atomics at tick/scrape time; the tuple path is
+// untouched.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sspd/internal/engine"
+	"sspd/internal/entity"
+	"sspd/internal/latency"
+	"sspd/internal/metrics"
+	"sspd/internal/profile"
+)
+
+// DefaultEngineRules is the backpressure rule set used when
+// EnableEngineIntrospection is given none: the engine is saturated when
+// more than 1% of offered tuples drop in a window, or when the 99th
+// percentile enqueue-time ring occupancy exceeds 75% of capacity.
+var DefaultEngineRules = []string{
+	"drop_rate < 1%",
+	"ring_occupancy_p99 < 75%",
+}
+
+// EntityEngine is one entity's row in the cluster engine view.
+type EntityEngine struct {
+	Entity string `json:"entity"`
+	// Dropped is the entity's engine-lifetime dropped-tuple total;
+	// DropSpark its recent drops-per-second history (stats-plane folds,
+	// oldest first).
+	Dropped   int64     `json:"dropped"`
+	DropSpark []float64 `json:"drop_spark,omitempty"`
+	// Stats is the entity's merged shard telemetry.
+	Stats engine.EngineStats `json:"stats"`
+}
+
+// ClusterEngineView is the GET /cluster/engine payload: every entity's
+// shard telemetry plus the watchdog's last windowed readings.
+type ClusterEngineView struct {
+	Entities []EntityEngine `json:"entities"`
+	// DropRate and RingOccP99 are the last watchdog window's readings.
+	DropRate   float64 `json:"drop_rate"`
+	RingOccP99 float64 `json:"ring_occupancy_p99"`
+	// Saturated is true while any backpressure rule is in breach.
+	Saturated bool `json:"saturated"`
+	// Verdicts is the last watchdog evaluation, in rule order.
+	Verdicts []latency.Verdict `json:"verdicts,omitempty"`
+}
+
+// enginePlane owns the backpressure watchdog's differencing state and
+// the sspd_engine_* collector.
+type enginePlane struct {
+	f        *Federation
+	watchdog *latency.Watchdog
+
+	mu sync.Mutex
+	// prevOffered/prevDropped/prevHist are the cumulative cluster totals
+	// at the previous tick; eval differences against them so the rules
+	// see only the last window's traffic and a breach clears once the
+	// overload stops.
+	prevOffered int64
+	prevDropped int64
+	prevHist    []int64
+	// lastDropRate/lastOcc are the last window's readings (the view and
+	// the gauges re-serve them between ticks).
+	lastDropRate float64
+	lastOcc      float64
+	breaches     map[string]int64 // rule → saturation transitions
+	state        map[string]bool  // rule → currently breached
+	verdicts     []latency.Verdict
+
+	loopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// EnableEngineIntrospection starts the engine introspection plane.
+// interval > 0 runs a background watchdog loop; interval <= 0 leaves
+// evaluation to StatsTick (and EngineTick), the deterministic path
+// tests drive. rules are backpressure rule lines (drop_rate,
+// ring_occupancy_p99; see latency.ParseRule); none installs
+// DefaultEngineRules.
+func (f *Federation) EnableEngineIntrospection(interval time.Duration, rules ...string) error {
+	if len(rules) == 0 {
+		rules = DefaultEngineRules
+	}
+	parsed, err := latency.ParseRules(rules)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if f.eng != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: engine introspection already enabled")
+	}
+	p := &enginePlane{
+		f:        f,
+		watchdog: latency.NewWatchdog(parsed),
+		breaches: make(map[string]int64, len(parsed)),
+		state:    make(map[string]bool, len(parsed)),
+	}
+	for _, r := range parsed {
+		p.breaches[r.Raw] = 0
+		p.state[r.Raw] = false
+	}
+	f.eng = p
+	f.mu.Unlock()
+
+	f.registry.RegisterCollector(p.collect)
+	if interval > 0 {
+		p.start(interval)
+	}
+	f.logger.Info("engine.watch", "", "engine introspection plane enabled",
+		"rules", len(parsed), "interval", interval)
+	return nil
+}
+
+// EngineIntrospectionEnabled reports whether the plane is running.
+func (f *Federation) EngineIntrospectionEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng != nil
+}
+
+// EngineTick runs one backpressure watchdog evaluation over the window
+// since the previous tick, journaling saturation transitions (and
+// triggering a profile capture on the saturation edge). StatsTick calls
+// this automatically; exposed for tests and manual federation. Returns
+// the per-rule verdicts (nil when the plane is disabled).
+func (f *Federation) EngineTick() []latency.Verdict {
+	f.mu.Lock()
+	p := f.eng
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.eval()
+}
+
+// EngineWatchStatus returns the verdicts of the most recent watchdog
+// tick.
+func (f *Federation) EngineWatchStatus() []latency.Verdict {
+	f.mu.Lock()
+	p := f.eng
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]latency.Verdict(nil), p.verdicts...)
+}
+
+// ClusterEngine returns the cluster engine view. Entities federated
+// through the stats plane contribute their digest rows (so the root
+// answers for remote entities too); locally hosted entities not yet
+// covered by a digest are read live. ok is false while the plane is
+// disabled.
+func (f *Federation) ClusterEngine() (ClusterEngineView, bool) {
+	f.mu.Lock()
+	p := f.eng
+	f.mu.Unlock()
+	if p == nil {
+		return ClusterEngineView{}, false
+	}
+	byID := make(map[string]EntityEngine)
+	for _, ee := range f.liveEngineEntities() {
+		byID[ee.Entity] = ee
+	}
+	if rows, _, ok := f.ClusterStats(); ok {
+		for id, row := range rows {
+			if row.Engine == nil {
+				continue
+			}
+			byID[id] = EntityEngine{
+				Entity:    id,
+				Dropped:   row.Dropped,
+				DropSpark: append([]float64(nil), row.DropSpark...),
+				Stats:     *row.Engine,
+			}
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	view := ClusterEngineView{Entities: make([]EntityEngine, 0, len(ids))}
+	for _, id := range ids {
+		view.Entities = append(view.Entities, byID[id])
+	}
+	p.mu.Lock()
+	view.DropRate = p.lastDropRate
+	view.RingOccP99 = p.lastOcc
+	for _, b := range p.state {
+		if b {
+			view.Saturated = true
+		}
+	}
+	view.Verdicts = append([]latency.Verdict(nil), p.verdicts...)
+	p.mu.Unlock()
+	return view, true
+}
+
+// engineRowFor is the stats plane's fold hook: one entity's merged
+// telemetry snapshot (nil when the plane is off or the entity runs no
+// introspectable engine).
+func (f *Federation) engineRowFor(ent *entity.Entity) *engine.EngineStats {
+	f.mu.Lock()
+	p := f.eng
+	f.mu.Unlock()
+	if p == nil || ent == nil {
+		return nil
+	}
+	es, ok := ent.EngineTelemetry()
+	if !ok {
+		return nil
+	}
+	return &es
+}
+
+// liveEngineEntities reads every locally hosted entity's telemetry
+// directly (no digest lag); entities with no introspectable engine are
+// omitted.
+func (f *Federation) liveEngineEntities() []EntityEngine {
+	f.mu.Lock()
+	ents := make(map[string]*entity.Entity, len(f.entities))
+	for id, en := range f.entities {
+		ents[id] = en.ent
+	}
+	f.mu.Unlock()
+	ids := make([]string, 0, len(ents))
+	for id := range ents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]EntityEngine, 0, len(ids))
+	for _, id := range ids {
+		ent := ents[id]
+		es, ok := ent.EngineTelemetry()
+		if !ok {
+			continue
+		}
+		out = append(out, EntityEngine{Entity: id, Dropped: ent.DroppedTotal(), Stats: es})
+	}
+	return out
+}
+
+// eval runs one watchdog tick: cumulative cluster totals are read live,
+// differenced into this window's drop rate and occupancy percentile,
+// and the rules evaluated; saturation transitions are journaled and the
+// saturation edge triggers a profile capture.
+func (p *enginePlane) eval() []latency.Verdict {
+	f := p.f
+	var offered, dropped, ringCap int64
+	hist := make([]int64, engine.OccBuckets)
+	for _, ee := range f.liveEngineEntities() {
+		t := ee.Stats.Totals()
+		offered += t.Offered
+		dropped += t.Dropped
+		if t.RingCap > ringCap {
+			ringCap = t.RingCap
+		}
+		for i, c := range t.OccHist {
+			if i < len(hist) {
+				hist[i] += c
+			}
+		}
+	}
+
+	p.mu.Lock()
+	winOff := offered - p.prevOffered
+	winDrop := dropped - p.prevDropped
+	winHist := make([]int64, len(hist))
+	for i := range hist {
+		winHist[i] = hist[i]
+		if p.prevHist != nil && i < len(p.prevHist) {
+			winHist[i] -= p.prevHist[i]
+		}
+	}
+	p.prevOffered, p.prevDropped, p.prevHist = offered, dropped, hist
+	p.mu.Unlock()
+
+	o := latency.Observation{}
+	if winOff > 0 {
+		o.EngineWindow = true
+		o.DropRate = float64(winDrop) / float64(winOff)
+		o.RingOccP99 = engine.OccP99(winHist, ringCap)
+	}
+	vs := p.watchdog.Eval(o)
+
+	p.mu.Lock()
+	if o.EngineWindow {
+		p.lastDropRate, p.lastOcc = o.DropRate, o.RingOccP99
+	}
+	p.verdicts = vs
+	for _, v := range vs {
+		if v.Evaluated {
+			p.state[v.Rule.Raw] = v.Breached
+		}
+		if v.Transition && v.Breached {
+			p.breaches[v.Rule.Raw]++
+		}
+	}
+	p.mu.Unlock()
+
+	prof := f.Profiler()
+	for _, v := range vs {
+		if !v.Transition {
+			continue
+		}
+		if v.Breached {
+			f.logger.Warn("engine.saturated", "", "engine backpressure rule breached",
+				"rule", v.Rule.Raw, "value", fmt.Sprintf("%.6g", v.Value))
+			if prof != nil {
+				// Capture the overload while it is happening.
+				prof.Trigger(v.Rule.Raw)
+			}
+		} else {
+			f.logger.Info("engine.recovered", "", "engine backpressure rule recovered",
+				"rule", v.Rule.Raw, "value", fmt.Sprintf("%.6g", v.Value))
+		}
+	}
+	return vs
+}
+
+func (p *enginePlane) start(interval time.Duration) {
+	p.loopMu.Lock()
+	defer p.loopMu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.eval()
+			}
+		}
+	}(p.stop, p.done)
+}
+
+func (p *enginePlane) close() {
+	p.loopMu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.loopMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// collect renders the plane as sspd_engine_* Prometheus families. It is
+// registered on the federation registry (GET /metrics) and re-emitted
+// by the stats plane's cluster collector (GET /cluster/metrics), so
+// both endpoints serve the same families.
+func (p *enginePlane) collect(emit func(metrics.Sample)) {
+	f := p.f
+	gauge := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindGauge, Labels: labels, Value: v})
+	}
+	counter := func(name, help string, v float64, labels ...metrics.Label) {
+		emit(metrics.Sample{Name: name, Help: help, Kind: metrics.KindCounter, Labels: labels, Value: v})
+	}
+
+	view, ok := f.ClusterEngine()
+	if !ok {
+		return
+	}
+	for _, ee := range view.Entities {
+		le := metrics.L("entity", ee.Entity)
+		t := ee.Stats.Totals()
+		gauge("sspd_engine_queries", "Queries installed across the entity's shard engines.",
+			float64(ee.Stats.Queries), le)
+		counter("sspd_engine_offered_total", "Tuples offered to shard rings per entity.",
+			float64(t.Offered), le)
+		counter("sspd_engine_dropped_total",
+			"Engine-lifetime tuples dropped per entity, including since-unregistered queries.",
+			float64(ee.Dropped), le)
+		counter("sspd_engine_batches_total", "(query, batch) feeds executed per entity.",
+			float64(t.Batches), le)
+		counter("sspd_engine_tuples_total", "Tuples processed per entity by execution path.",
+			float64(t.KernelTuples), le, metrics.L("path", "kernel"))
+		counter("sspd_engine_tuples_total", "Tuples processed per entity by execution path.",
+			float64(t.InterpTuples), le, metrics.L("path", "interpreted"))
+		gauge("sspd_engine_kernel_selectivity",
+			"Fraction of rows entering the filter kernels that survive into the stateful tail.",
+			t.Selectivity(), le)
+		gauge("sspd_engine_kernel_share",
+			"Fraction of processed tuples that took the vectorized kernel path.",
+			t.KernelShare(), le)
+		counter("sspd_engine_ctl_total", "Control items processed by shard goroutines per entity.",
+			float64(t.CtlItems), le)
+		counter("sspd_engine_ctl_wait_seconds_total",
+			"Cumulative control-item ring queueing latency per entity.",
+			float64(t.CtlWaitNs)/1e9, le)
+		for _, sh := range ee.Stats.Shards {
+			ls := []metrics.Label{le, metrics.L("engine", sh.Engine),
+				metrics.L("shard", fmt.Sprintf("%d", sh.Shard))}
+			gauge("sspd_engine_shard_occupancy", "Instantaneous shard-ring depth.",
+				float64(sh.Occupancy), ls...)
+			gauge("sspd_engine_shard_high_water", "Worst shard-ring occupancy any enqueue observed.",
+				float64(sh.HighWater), ls...)
+			counter("sspd_engine_shard_dropped_total", "Tuples refused by the full shard ring.",
+				float64(sh.Dropped), ls...)
+		}
+	}
+
+	gauge("sspd_engine_drop_rate", "Dropped/offered ratio of the last watchdog window.",
+		view.DropRate)
+	gauge("sspd_engine_ring_occupancy_p99",
+		"p99 enqueue-time ring occupancy (fraction of capacity) of the last watchdog window.",
+		view.RingOccP99)
+
+	p.mu.Lock()
+	rules := make([]string, 0, len(p.breaches))
+	for r := range p.breaches {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		lr := metrics.L("rule", r)
+		gauge("sspd_engine_saturated", "1 while the backpressure rule is in breach.",
+			b2f(p.state[r]), lr)
+		counter("sspd_engine_saturations_total", "Saturation transitions per backpressure rule.",
+			float64(p.breaches[r]), lr)
+	}
+	p.mu.Unlock()
+
+	var captures float64
+	if prof := f.Profiler(); prof != nil {
+		captures = float64(prof.Total())
+	}
+	counter("sspd_engine_profile_captures_total", "Profiles stored by the continuous profiling ring.",
+		captures)
+}
+
+// engineCollectInto re-emits the sspd_engine_* families into another
+// collector (the cluster registry), so /metrics and /cluster/metrics
+// serve the same engine families.
+func (f *Federation) engineCollectInto(emit func(metrics.Sample)) {
+	f.mu.Lock()
+	p := f.eng
+	f.mu.Unlock()
+	if p != nil {
+		p.collect(emit)
+	}
+}
+
+// EnableProfiling starts the continuous profiling hook: periodic CPU
+// and heap captures into a bounded on-disk ring under dir, served at
+// GET /profiles. period <= 0 disables the periodic loop — captures then
+// happen only when the backpressure watchdog triggers them. Every
+// stored capture is journaled as profile.captured.
+func (f *Federation) EnableProfiling(dir string, period time.Duration) error {
+	f.mu.Lock()
+	if !f.started {
+		f.mu.Unlock()
+		return fmt.Errorf("core: federation not started")
+	}
+	if f.prof != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("core: profiling already enabled")
+	}
+	f.mu.Unlock()
+	rec, err := profile.NewRecorder(profile.Options{Dir: dir, Period: period})
+	if err != nil {
+		return err
+	}
+	rec.SetOnCapture(func(c profile.Capture) {
+		f.logger.Info("profile.captured", "", "profile stored",
+			"name", c.Name, "kind", c.Kind, "reason", c.Reason,
+			"bytes", fmt.Sprintf("%d", c.Bytes))
+	})
+	f.mu.Lock()
+	if f.prof != nil {
+		f.mu.Unlock()
+		rec.Close()
+		return fmt.Errorf("core: profiling already enabled")
+	}
+	f.prof = rec
+	f.mu.Unlock()
+	rec.Start()
+	f.logger.Info("profile.enable", "", "continuous profiling enabled",
+		"dir", dir, "period", period)
+	return nil
+}
+
+// Profiler returns the profile recorder (nil until EnableProfiling).
+func (f *Federation) Profiler() *profile.Recorder {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.prof
+}

@@ -14,6 +14,7 @@ import (
 	"sspd/internal/entity"
 	"sspd/internal/metrics"
 	"sspd/internal/obslog"
+	"sspd/internal/profile"
 	"sspd/internal/querygraph"
 	"sspd/internal/simnet"
 	"sspd/internal/stream"
@@ -174,6 +175,12 @@ type Federation struct {
 	// ckpt is the durable-checkpoint plane (nil until
 	// EnableCheckpoints).
 	ckpt *ckptPlane
+	// eng is the engine introspection plane (nil until
+	// EnableEngineIntrospection).
+	eng *enginePlane
+	// prof is the continuous profiling recorder (nil until
+	// EnableProfiling).
+	prof *profile.Recorder
 	// entityFailErrors counts detector-confirmed expulsions whose
 	// FailEntity call itself failed — failures that would otherwise be
 	// silently dropped by the async confirm callback.
@@ -1363,7 +1370,17 @@ func (f *Federation) Close() {
 	f.lat = nil
 	ckpt := f.ckpt
 	f.ckpt = nil
+	eng := f.eng
+	f.eng = nil
+	prof := f.prof
+	f.prof = nil
 	f.mu.Unlock()
+	if prof != nil {
+		prof.Close()
+	}
+	if eng != nil {
+		eng.close()
+	}
 	if ckpt != nil {
 		ckpt.close()
 	}

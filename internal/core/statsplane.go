@@ -53,6 +53,11 @@ type foldState struct {
 	prevBusy  map[string]float64 // query -> cumulative busy seconds
 	prevBytes map[string]int64   // stream -> cumulative link bytes
 	spark     []float64          // recent PR_max samples, oldest first
+	// prevDropped/dropSpark carry the entity's engine drop history: the
+	// cumulative total at the last fold and the differentiated
+	// drops-per-second ring behind the ops-view sparkline.
+	prevDropped int64
+	dropSpark   []float64
 }
 
 // EnableStatsPlane starts the cluster stats federation. interval is the
@@ -101,6 +106,7 @@ func (f *Federation) EnableStatsPlane(interval time.Duration) error {
 					return
 				case <-t.C:
 					f.SLOTick()
+					f.EngineTick()
 				}
 			}
 		}(p.stop, p.done)
@@ -155,9 +161,11 @@ func (f *Federation) StatsTick() {
 	for _, n := range nodes {
 		n.Tick()
 	}
-	// The SLO watchdog is clocked by the stats federation: one verdict
-	// pass per digest period, over this window's traffic.
+	// The SLO and backpressure watchdogs are clocked by the stats
+	// federation: one verdict pass per digest period, over this window's
+	// traffic.
 	f.SLOTick()
+	f.EngineTick()
 }
 
 // ClusterStats returns the merged cluster table as seen by the current
@@ -521,6 +529,10 @@ func (p *statsPlane) fold(id string) coordinator.EntityStats {
 		row.DecodeErrors += r.decErrs
 	}
 
+	// Entity-level engine drops: the lifetime total plus a
+	// differentiated drops-per-second sparkline ring.
+	row.Dropped = en.ent.DroppedTotal()
+
 	p.mu.Lock()
 	st.prevT = now
 	st.prevBusy = newBusy
@@ -530,11 +542,25 @@ func (p *statsPlane) fold(id string) coordinator.EntityStats {
 		st.spark = st.spark[len(st.spark)-coordinator.SparkLen:]
 	}
 	row.PRSpark = append([]float64(nil), st.spark...)
+	dropRate := 0.0
+	if dt > 0.01 {
+		if r := float64(row.Dropped-st.prevDropped) / dt; r > 0 {
+			dropRate = r
+		}
+	}
+	st.prevDropped = row.Dropped
+	st.dropSpark = append(st.dropSpark, dropRate)
+	if len(st.dropSpark) > coordinator.SparkLen {
+		st.dropSpark = st.dropSpark[len(st.dropSpark)-coordinator.SparkLen:]
+	}
+	row.DropSpark = append([]float64(nil), st.dropSpark...)
 	p.mu.Unlock()
 
 	// Latency attribution rides the row so the root can merge cluster
-	// percentiles bucket-wise (nil when the plane is off).
+	// percentiles bucket-wise (nil when the plane is off); the engine
+	// telemetry snapshot rides the same way for shard heatmaps.
 	row.Latency = f.latencyRowFor(id)
+	row.Engine = f.engineRowFor(en.ent)
 	return row
 }
 
@@ -585,6 +611,9 @@ func (p *statsPlane) collect(emit func(metrics.Sample)) {
 			row.PRMax, le)
 		gauge("sspd_cluster_digest_age_seconds", "Age of the entity's digest row at the root.",
 			row.Age(now).Seconds(), le)
+		counter("sspd_cluster_entity_dropped_total",
+			"Engine-lifetime tuples dropped per entity, including drops charged to since-unregistered queries.",
+			float64(row.Dropped), le)
 		counter("sspd_cluster_send_errors_total", "Relay send errors per entity from the cluster digest.",
 			float64(row.SendErrors), le)
 		counter("sspd_cluster_decode_errors_total", "Relay decode errors per entity from the cluster digest.",
@@ -648,6 +677,11 @@ func (p *statsPlane) collect(emit func(metrics.Sample)) {
 		gauge("sspd_cluster_stream_tuples_per_sec", "Measured arrival rate at the stream source.",
 			rates[s], metrics.L("stream", s))
 	}
+
+	// The engine introspection families are re-emitted here so
+	// /cluster/metrics serves the same sspd_engine_* families as
+	// /metrics (no-op while the plane is disabled).
+	f.engineCollectInto(emit)
 }
 
 func b2f(b bool) float64 {

@@ -107,6 +107,11 @@ type Engine struct {
 	queries map[string]*runningQuery
 	byInput map[string][]*runningQuery
 	closed  bool
+
+	// droppedTotal is the engine-lifetime dropped-tuple count across all
+	// queries — unlike the per-query counters it survives Unregister, so
+	// entity-level drop attribution never loses history.
+	droppedTotal metrics.Counter
 }
 
 type runningQuery struct {
@@ -117,6 +122,9 @@ type runningQuery struct {
 	delay   metrics.Histogram
 	proc    metrics.Histogram
 	dropped metrics.Counter
+	// drops points at the owning engine's lifetime counter (counters must
+	// not be copied, so the backref is a pointer set at Register).
+	drops *metrics.Counter
 	// pending counts items from enqueue until their processing
 	// returns, so Drain observes true idleness (an empty queue with a
 	// handler mid-item is not idle).
@@ -133,6 +141,9 @@ func (rq *runningQuery) enqueue(item feedItem) bool {
 	default:
 		rq.pending.Add(-1)
 		rq.dropped.Inc()
+		if rq.drops != nil {
+			rq.drops.Inc()
+		}
 		return false
 	}
 }
@@ -179,8 +190,9 @@ func (e *Engine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
 		return fmt.Errorf("engine %s: query %s already registered", e.name, spec.ID)
 	}
 	rq := &runningQuery{
-		in:   make(chan feedItem, queueDepth),
-		done: make(chan struct{}),
+		in:    make(chan feedItem, queueDepth),
+		done:  make(chan struct{}),
+		drops: &e.droppedTotal,
 	}
 	q, err := Compile(spec, e.catalog, func(t stream.Tuple) {
 		rq.results.Inc()
@@ -422,6 +434,10 @@ func (e *Engine) PRMax() float64 {
 	}
 	return max
 }
+
+// TotalDropped implements TotalDropReporter: the engine-lifetime dropped
+// total across all queries, including since-unregistered ones.
+func (e *Engine) TotalDropped() int64 { return e.droppedTotal.Value() }
 
 // Dropped reports the number of tuples dropped by one query's full queue.
 func (e *Engine) Dropped(id string) int64 {

@@ -104,6 +104,18 @@ func (r *shardRing) dequeue() (ringItem, bool) {
 	return item, true
 }
 
+// occupancy returns the number of items currently in the ring — a racy
+// estimate (producers and the consumer move concurrently), read from
+// the same two words the enqueue path already touches. No clock, no
+// allocation: the telemetry sampling discipline of the publish path.
+func (r *shardRing) occupancy() uint64 {
+	t, h := r.tail.Load(), r.head.Load()
+	if t < h {
+		return 0
+	}
+	return t - h
+}
+
 // empty reports whether the ring currently holds no items.
 func (r *shardRing) empty() bool {
 	pos := r.head.Load()

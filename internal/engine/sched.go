@@ -64,6 +64,10 @@ type SchedEngine struct {
 	inflight atomic.Int64
 	closed   bool
 	done     chan struct{}
+
+	// droppedTotal is the engine-lifetime dropped-tuple count across all
+	// queries, surviving Unregister for entity-level drop attribution.
+	droppedTotal metrics.Counter
 }
 
 type schedQuery struct {
@@ -173,6 +177,7 @@ func (e *SchedEngine) Ingest(t stream.Tuple) {
 	for _, sq := range e.byInput[t.Stream] {
 		if len(sq.backlog) >= schedBacklogCap {
 			sq.dropped.Inc()
+			e.droppedTotal.Inc()
 			continue
 		}
 		sq.backlog = append(sq.backlog, item)
@@ -193,6 +198,7 @@ func (e *SchedEngine) IngestBatch(b stream.Batch) {
 		for _, sq := range e.byInput[b[i].Stream] {
 			if len(sq.backlog) >= schedBacklogCap {
 				sq.dropped.Inc()
+				e.droppedTotal.Inc()
 				continue
 			}
 			sq.backlog = append(sq.backlog, schedItem{streamName: b[i].Stream, t: b[i], arrived: now})
@@ -217,6 +223,7 @@ func (e *SchedEngine) FeedQueryBatch(id string, b stream.Batch) error {
 	for i := range b {
 		if len(sq.backlog) >= schedBacklogCap {
 			sq.dropped.Inc()
+			e.droppedTotal.Inc()
 			continue
 		}
 		sq.backlog = append(sq.backlog, schedItem{streamName: b[i].Stream, t: b[i], arrived: now})
@@ -236,6 +243,7 @@ func (e *SchedEngine) FeedQuery(id string, t stream.Tuple) error {
 	}
 	if len(sq.backlog) >= schedBacklogCap {
 		sq.dropped.Inc()
+		e.droppedTotal.Inc()
 	} else {
 		sq.backlog = append(sq.backlog, schedItem{streamName: t.Stream, t: t, arrived: time.Now()})
 	}
@@ -378,6 +386,10 @@ func (e *SchedEngine) PRMax() float64 {
 	}
 	return max
 }
+
+// TotalDropped implements TotalDropReporter: the engine-lifetime dropped
+// total across all queries, including since-unregistered ones.
+func (e *SchedEngine) TotalDropped() int64 { return e.droppedTotal.Value() }
 
 // Dropped reports tuples dropped by one query's full backlog.
 func (e *SchedEngine) Dropped(id string) int64 {

@@ -111,6 +111,11 @@ type ShardEngine struct {
 	acc        map[accKey]*accum
 	accPending atomic.Int64
 
+	// droppedTotal is the engine-lifetime dropped-tuple count across all
+	// queries — unlike the per-query counters it survives Unregister, so
+	// the entity-level drop attribution never loses history.
+	droppedTotal metrics.Counter
+
 	stopFlush chan struct{}
 	flushDone chan struct{}
 }
@@ -129,6 +134,10 @@ type shard struct {
 	// pending counts enqueued ring items until fully processed, so
 	// Drain observes true idleness.
 	pending atomic.Int64
+
+	// stats is the shard's telemetry (DESIGN.md §14): batch-grained
+	// atomics only, updated by producers and the shard goroutine.
+	stats shardStats
 
 	// Owned by the shard goroutine; mutated only via control items.
 	queries map[string]*shardQuery
@@ -700,17 +709,30 @@ type shardCtl struct {
 	changed int
 	err     error
 	done    chan struct{}
+	// enq stamps the control item's ring entry so processCtl can measure
+	// its queueing latency (control items are rare; a clock read here is
+	// off the tuple path).
+	enq time.Time
 }
 
 // enqueueData publishes a data item; false means the ring was full and
-// the caller must count the drop.
+// the caller must count the drop (per query — the shard- and
+// engine-level totals are counted here, where the batch size is known).
 func (sh *shard) enqueueData(item ringItem) bool {
+	n := int64(len(item.b))
+	// One occupancy sample per enqueue = batch granularity: two atomic
+	// loads and one histogram bump, no clock read (lint-obslog holds the
+	// ring publish path to the same clock-free rule as the kernels).
+	sh.stats.observeOcc(sh.ring.occupancy())
+	sh.stats.offered.Add(n)
 	// Count before publishing: if the consumer could dequeue and
 	// decrement before our increment, pending would dip negative and
 	// Drain could sum a spurious zero across shards while work remains.
 	sh.pending.Add(1)
 	if !sh.ring.enqueue(item) {
 		sh.pending.Add(-1)
+		sh.stats.dropped.Add(n)
+		sh.eng.droppedTotal.Add(n)
 		return false
 	}
 	sh.wakeup()
@@ -722,6 +744,7 @@ func (sh *shard) enqueueData(item ringItem) bool {
 // the spin terminates unless the shard has already stopped.
 func (sh *shard) enqueueCtl(c *shardCtl) {
 	c.done = make(chan struct{})
+	c.enq = time.Now()
 	item := ringItem{ctl: c}
 	sh.pending.Add(1) // count before publish; see enqueueData
 	for !sh.ring.enqueue(item) {
@@ -825,6 +848,8 @@ func (sh *shard) process(item ringItem) {
 // updated with one weighted observation each.
 func (sh *shard) feedBatch(sq *shardQuery, item ringItem, fresh bool) {
 	b := item.b
+	n := int64(len(b))
+	st := &sh.stats
 	start := time.Now()
 	if sq.vec != nil && b[0].Stream == sq.q.spec.Source {
 		cb := sh.cb
@@ -834,14 +859,19 @@ func (sh *shard) feedBatch(sq *shardQuery, item ringItem, fresh bool) {
 			cb.ResetSel()
 		}
 		sq.vec.run(cb, sq.q)
+		st.kernelTuples.Add(n)
+		st.kernelIn.Add(n)
+		st.kernelOut.Add(int64(cb.Len()))
 	} else {
 		streamName := b[0].Stream
 		for i := range b {
 			sq.q.Feed(streamName, b[i])
 		}
+		st.interpTuples.Add(n)
 	}
+	st.batches.Add(1)
+	st.tuples.Add(n)
 	end := time.Now()
-	n := int64(len(b))
 	el := end.Sub(start).Seconds()
 	sq.proc.ObserveN(el/float64(n), n)
 	sq.delay.ObserveN(end.Sub(item.arrived).Seconds(), n)
@@ -850,11 +880,16 @@ func (sh *shard) feedBatch(sq *shardQuery, item ringItem, fresh bool) {
 // processCtl executes one control item.
 func (sh *shard) processCtl(c *shardCtl) {
 	defer close(c.done)
+	sh.stats.ctlItems.Add(1)
+	if !c.enq.IsZero() {
+		sh.stats.ctlWaitNs.Add(time.Since(c.enq).Nanoseconds())
+	}
 	switch c.op {
 	case shardCtlInstall:
 		sq := c.sq
 		id := sq.q.ID()
 		sh.queries[id] = sq
+		sh.stats.queries.Add(1)
 		for _, s := range sq.q.Spec().Streams() {
 			sh.byInput[s] = append(sh.byInput[s], sq)
 		}
@@ -865,6 +900,7 @@ func (sh *shard) processCtl(c *shardCtl) {
 			return
 		}
 		delete(sh.queries, c.id)
+		sh.stats.queries.Add(-1)
 		for _, s := range sq.q.Spec().Streams() {
 			list := sh.byInput[s]
 			for i := range list {

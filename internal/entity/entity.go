@@ -522,6 +522,44 @@ func (e *Entity) QueryDrops(id string) (dropped int64, ok bool) {
 	return dropped, ok
 }
 
+// EngineTelemetry merges the introspection snapshots of every processor
+// whose engine exposes one (DESIGN.md §14). ok is false when no engine
+// does (e.g. an entity running only MiniEngines).
+func (e *Entity) EngineTelemetry() (engine.EngineStats, bool) {
+	e.mu.Lock()
+	procs := make([]*procNode, len(e.procs))
+	copy(procs, e.procs)
+	e.mu.Unlock()
+	var out engine.EngineStats
+	var ok bool
+	for _, pn := range procs {
+		in, isIn := pn.eng.(engine.Introspector)
+		if !isIn {
+			continue
+		}
+		out.Merge(in.EngineStats())
+		ok = true
+	}
+	return out, ok
+}
+
+// DroppedTotal sums the engine-lifetime dropped-tuple totals across the
+// entity's processors — unlike QueryDrops it includes drops charged to
+// queries that have since been unregistered or migrated away.
+func (e *Entity) DroppedTotal() int64 {
+	e.mu.Lock()
+	procs := make([]*procNode, len(e.procs))
+	copy(procs, e.procs)
+	e.mu.Unlock()
+	var total int64
+	for _, pn := range procs {
+		if rep, isRep := pn.eng.(engine.TotalDropReporter); isRep {
+			total += rep.TotalDropped()
+		}
+	}
+	return total
+}
+
 // Interest derives the entity's aggregated data interest in one stream:
 // the union of its placed queries' interests — what the entity registers
 // up the dissemination tree.

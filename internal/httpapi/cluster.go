@@ -8,6 +8,7 @@ package httpapi
 //	GET /cluster/health   per-entity health derived from digest freshness
 //	GET /cluster/latency  latency attribution: stage waterfalls, measured
 //	                      PR vs estimate, SLO watchdog verdicts
+//	GET /cluster/engine   shard telemetry heatmap + backpressure state
 //	GET /events           structured event journal, ?since=<seq>&kind=<k>
 
 import (
@@ -213,6 +214,8 @@ const clusterPageHTML = `<!doctype html>
   .slo.idle { background: #333; color: #999; }
   .legend span { margin-right: 0.8rem; font-size: 0.75rem; color: #999; }
   .swatch { display: inline-block; width: 9px; height: 9px; margin-right: 0.25rem; }
+  .hm { display: inline-flex; }
+  .hm div { width: 11px; height: 12px; margin-right: 1px; background: #222; }
 </style>
 </head>
 <body>
@@ -233,6 +236,12 @@ const clusterPageHTML = `<!doctype html>
 <table>
   <thead><tr><th>query</th><th>entity</th><th>waterfall</th><th>mean</th><th>p99</th><th>PR meas</th><th>PR est</th><th>drift</th></tr></thead>
   <tbody id="lat-queries"></tbody>
+</table>
+<h2>engine</h2>
+<div id="eng-meta">engine introspection not enabled</div>
+<table>
+  <thead><tr><th>entity</th><th>queries</th><th>shard occupancy</th><th>dropped</th><th>drop trend</th><th>kernel hit</th><th>selectivity</th></tr></thead>
+  <tbody id="eng-entities"></tbody>
 </table>
 <h2>migrations</h2>
 <table>
@@ -294,6 +303,36 @@ async function refreshLatency() {
     '<td>' + ('pr_estimated' in q ? q.pr_estimated.toFixed(2) : '—') + '</td>' +
     '<td>' + ('pr_drift' in q ? q.pr_drift.toFixed(2) : '—') + '</td></tr>').join('');
 }
+function heat(shards) {
+  if (!shards || !shards.length) return '';
+  return '<span class="hm">' + shards.map(sh => {
+    const f = sh.ring_cap > 0 ? Math.min(Math.max(sh.occupancy / sh.ring_cap, 0), 1) : 0;
+    const hw = sh.ring_cap > 0 ? sh.high_water / sh.ring_cap : 0;
+    const r = Math.round(40 + 200 * f), g = Math.round(80 - 40 * f);
+    return '<div style="background:rgb(' + r + ',' + g + ',40)" title="' +
+      esc((sh.engine || '') + '/s' + sh.shard) + ': occ ' + sh.occupancy + '/' + sh.ring_cap +
+      ' · hw ' + (100 * hw).toFixed(0) + '% · dropped ' + sh.dropped + '"></div>';
+  }).join('') + '</span>';
+}
+async function refreshEngine() {
+  const gr = await fetch('cluster/engine');
+  if (!gr.ok) { document.getElementById('eng-meta').textContent = 'engine introspection not enabled'; return; }
+  const g = await gr.json();
+  document.getElementById('eng-meta').innerHTML =
+    'drop rate ' + (100 * g.drop_rate).toFixed(2) + '% · ring occ p99 ' +
+    (100 * g.ring_occupancy_p99).toFixed(1) + '% · ' +
+    (g.saturated ? '<span class="slo bad">saturated</span>' : '<span class="slo ok">healthy</span>');
+  document.getElementById('eng-entities').innerHTML = (g.entities || []).map(e => {
+    const sh = (e.stats && e.stats.shards) || [];
+    let tup = 0, kern = 0, kin = 0, kout = 0;
+    sh.forEach(s => { tup += s.tuples; kern += s.kernel_tuples; kin += s.kernel_in; kout += s.kernel_out; });
+    return '<tr><td>' + esc(e.entity) + '</td><td>' + ((e.stats && e.stats.queries) || 0) + '</td>' +
+      '<td>' + heat(sh) + '</td><td>' + e.dropped + '</td>' +
+      '<td>' + spark(e.drop_spark) + '</td>' +
+      '<td>' + (tup > 0 ? (100 * kern / tup).toFixed(1) + '%' : '—') + '</td>' +
+      '<td>' + (kin > 0 ? (100 * kout / kin).toFixed(1) + '%' : '—') + '</td></tr>';
+  }).join('');
+}
 async function refresh() {
   try {
     const hr = await fetch('cluster/health');
@@ -326,6 +365,7 @@ async function refresh() {
       '<td>' + (r.ckpt_seq || '—') + '</td><td>' + r.replayed + '</td>' +
       '<td>' + esc(r.reason || '') + '</td></tr>').join('');
     await refreshLatency();
+    await refreshEngine();
     const er = await fetch('events');
     if (er.ok) {
       const ev = await er.json();

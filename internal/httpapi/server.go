@@ -20,6 +20,9 @@
 //	GET    /cluster/metrics   merged cluster digest (stats plane must be enabled)
 //	GET    /cluster/health    per-entity health from digest freshness
 //	GET    /cluster/latency   latency attribution: waterfalls, measured PR, SLOs
+//	GET    /cluster/engine    shard telemetry + backpressure state (engine plane)
+//	GET    /profiles          continuous-profiling capture ring
+//	GET    /profiles/{name}   one stored pprof capture
 //	GET    /events            structured event journal (?since=&kind=)
 //	GET    /debug/pprof/      Go runtime profiling
 package httpapi
@@ -163,6 +166,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/metrics", s.clusterMetrics)
 	mux.HandleFunc("GET /cluster/health", s.clusterHealth)
 	mux.HandleFunc("GET /cluster/latency", s.clusterLatency)
+	mux.HandleFunc("GET /cluster/engine", s.clusterEngine)
+	mux.HandleFunc("GET /profiles", s.listProfiles)
+	mux.HandleFunc("GET /profiles/{name}", s.getProfile)
 	mux.HandleFunc("GET /events", s.events)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -15,6 +15,8 @@ import (
 //	p99_end_to_end < 250ms        // windowed e2e quantile (any pNN)
 //	pr_max < 3                    // instantaneous worst measured PR
 //	stage_share(network) < 60%    // windowed share of e2e time in a stage
+//	drop_rate < 1%                // windowed engine dropped/offered ratio
+//	ring_occupancy_p99 < 75%      // windowed p99 shard-ring occupancy
 //
 // Bounds accept Go duration syntax (250ms, 1.5s), percentages (60%),
 // and bare numbers. Quantile and share rules are evaluated over the
@@ -39,6 +41,11 @@ const (
 	RuleQuantileE2E = "quantile_e2e"
 	RulePRMax       = "pr_max"
 	RuleStageShare  = "stage_share"
+	// RuleDropRate and RuleRingOcc are the backpressure watchdog's rule
+	// kinds (DESIGN.md §14): windowed engine drop rate and windowed p99
+	// ring occupancy, both fractions fed via Observation's engine fields.
+	RuleDropRate = "drop_rate"
+	RuleRingOcc  = "ring_occupancy_p99"
 )
 
 // ParseRule parses one rule line.
@@ -60,6 +67,10 @@ func ParseRule(s string) (Rule, error) {
 	switch {
 	case lhs == "pr_max":
 		r.Kind = RulePRMax
+	case lhs == "drop_rate":
+		r.Kind = RuleDropRate
+	case lhs == "ring_occupancy_p99":
+		r.Kind = RuleRingOcc
 	case strings.HasPrefix(lhs, "stage_share(") && strings.HasSuffix(lhs, ")"):
 		r.Kind = RuleStageShare
 		r.Stage = strings.TrimSuffix(strings.TrimPrefix(lhs, "stage_share("), ")")
@@ -128,6 +139,15 @@ type Observation struct {
 	E2E    HistSnapshot
 	Stages map[string]HistSnapshot
 	PRMax  float64
+
+	// DropRate and RingOccP99 are the backpressure watchdog's inputs:
+	// already-windowed fractions (the engine plane differences its own
+	// cumulative counters between ticks). EngineWindow marks them valid —
+	// false holds the previous state of drop_rate / ring_occupancy_p99
+	// rules, exactly like an empty histogram window.
+	DropRate     float64
+	RingOccP99   float64
+	EngineWindow bool
 }
 
 // Verdict is one rule's state after a watchdog tick.
@@ -207,6 +227,16 @@ func (w *Watchdog) Eval(o Observation) []Verdict {
 		case RuleStageShare:
 			if stageTotal > 0 {
 				v.Value = winStage[r.Stage].Sum / stageTotal
+				v.Evaluated = true
+			}
+		case RuleDropRate:
+			if o.EngineWindow {
+				v.Value = o.DropRate
+				v.Evaluated = true
+			}
+		case RuleRingOcc:
+			if o.EngineWindow {
+				v.Value = o.RingOccP99
 				v.Evaluated = true
 			}
 		}

@@ -23,6 +23,8 @@
 //	decode.bad / decode.ok
 //	stats.enable
 //	slo.watch / slo.breach / slo.clear
+//	engine.watch / engine.saturated / engine.recovered
+//	profile.enable / profile.captured
 package obslog
 
 import (

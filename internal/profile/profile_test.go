@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(Options{Dir: dir, MaxCaptures: 3,
+		CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	var hooked int
+	rec.SetOnCapture(func(Capture) { hooked++ })
+
+	// Heap captures are synchronous, so each Trigger grows the ring by
+	// at least one (the async CPU side may add more).
+	for i := 0; i < 6; i++ {
+		rec.captureHeap("test")
+	}
+	rec.WaitIdle()
+
+	cs := rec.Captures()
+	if len(cs) != 3 {
+		t.Fatalf("ring holds %d captures, want MaxCaptures=3", len(cs))
+	}
+	if rec.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", rec.Total())
+	}
+	if hooked != 6 {
+		t.Fatalf("onCapture called %d times, want 6", hooked)
+	}
+	// Ring order is oldest first; evicted files are gone from disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d files on disk, want 3 (oldest evicted)", len(entries))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name >= cs[i].Name {
+			t.Fatalf("capture names not sortable by order: %q >= %q", cs[i-1].Name, cs[i].Name)
+		}
+	}
+
+	// Open serves ring members only.
+	if b, err := rec.Open(cs[0].Name); err != nil || len(b) == 0 {
+		t.Fatalf("Open(%q) = %d bytes, err %v", cs[0].Name, len(b), err)
+	}
+	if _, err := rec.Open("../etc/passwd"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+	if _, err := rec.Open("000001-heap.pprof"); err == nil {
+		t.Fatal("evicted capture still served")
+	}
+
+	// Newest-first listing order for the HTTP API.
+	SortCaptures(cs)
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name <= cs[i].Name {
+			t.Fatalf("SortCaptures not newest first: %q <= %q", cs[i-1].Name, cs[i].Name)
+		}
+	}
+}
+
+func TestRecorderTriggerCapturesBothKinds(t *testing.T) {
+	rec, err := NewRecorder(Options{Dir: t.TempDir(),
+		CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rec.Trigger("rule breach")
+	rec.WaitIdle()
+	kinds := map[string]bool{}
+	for _, c := range rec.Captures() {
+		kinds[c.Kind] = true
+		if c.Reason != "rule breach" {
+			t.Fatalf("capture reason = %q", c.Reason)
+		}
+		if c.Bytes <= 0 || c.UnixNano == 0 {
+			t.Fatalf("capture metadata empty: %+v", c)
+		}
+	}
+	if !kinds[KindHeap] || !kinds[KindCPU] {
+		t.Fatalf("Trigger captured kinds %v, want heap and cpu", kinds)
+	}
+}
+
+func TestRecorderRequiresDir(t *testing.T) {
+	if _, err := NewRecorder(Options{}); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sspd/internal/latency"
 	"sspd/internal/obslog"
 	"sspd/internal/operator"
+	"sspd/internal/profile"
 	"sspd/internal/querygraph"
 	"sspd/internal/simnet"
 	"sspd/internal/sspdql"
@@ -290,3 +291,38 @@ var (
 // ParseSLORule parses one declarative rule: "p99_end_to_end < 250ms",
 // "pr_max < 3", or "stage_share(network) < 60%".
 var ParseSLORule = latency.ParseRule
+
+// Engine-introspection surface (DESIGN.md §14): per-shard telemetry,
+// the backpressure watchdog, and continuous profiling, enabled with
+// Federation.EnableEngineIntrospection / Federation.EnableProfiling and
+// queried via Federation.ClusterEngine, GET /cluster/engine, and
+// GET /profiles.
+type (
+	// EngineStats is one engine's (or, merged, one entity's or the
+	// cluster's) shard telemetry snapshot.
+	EngineStats = engine.EngineStats
+	// EngineShardStat is one shard's telemetry row: ring occupancy and
+	// high-water, drops, kernel-vs-interpreted split, control latency.
+	EngineShardStat = engine.ShardStat
+	// EngineIntrospector is the optional engine capability of exposing a
+	// telemetry snapshot.
+	EngineIntrospector = engine.Introspector
+	// TotalDropReporter is the optional engine capability of reporting
+	// the engine-lifetime dropped-tuple total.
+	TotalDropReporter = engine.TotalDropReporter
+	// ClusterEngineView is the cluster engine view: every entity's shard
+	// telemetry plus the backpressure watchdog's windowed readings.
+	ClusterEngineView = core.ClusterEngineView
+	// EntityEngine is one entity's row in the cluster engine view.
+	EntityEngine = core.EntityEngine
+	// ProfileCapture describes one stored pprof capture.
+	ProfileCapture = profile.Capture
+	// ProfileOptions configures a profile recorder.
+	ProfileOptions = profile.Options
+	// ProfileRecorder is the bounded on-disk pprof capture ring.
+	ProfileRecorder = profile.Recorder
+)
+
+// DefaultEngineRules is the backpressure rule set applied when
+// EnableEngineIntrospection is called without rules.
+var DefaultEngineRules = core.DefaultEngineRules
