@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine bench
+.PHONY: check vet staticcheck lint-obslog build test race chaos bench-chaos bench-observability bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine bench-adaptation bench
 
-check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine
+check: vet staticcheck lint-obslog build chaos bench-tuplepath bench-statsplane bench-engineobs bench-migration bench-latency bench-recovery bench-engine bench-adaptation
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,13 @@ lint-obslog:
 		exit 1; \
 	fi
 	@echo "lint-obslog: kernels clock-free"
+	@bad=$$(grep -rnE 'time\.Now\(' internal/entity/adaptation.go internal/entity/entity.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-obslog: no clock reads in the per-tuple route decision (Choose/emit); candidate delays come from trace span completions, off the hot path:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "lint-obslog: route decision clock-free"
 
 build:
 	$(GO) build ./...
@@ -109,6 +116,14 @@ bench-recovery:
 # sweep). Fails if the throughput speedup drops below the 5x bar.
 bench-engine:
 	$(GO) run ./cmd/sspd-bench -engine BENCH_engine.json
+
+# Regenerates BENCH_adaptation.json: tuple-routed downstream selection
+# (the Adaptation Module loop) against the static-ordering baseline
+# under a selectivity-drifting workload on a jittered link. Fails on
+# any lost/duplicated result or when routing's PR_max improvement
+# misses the noise-calibrated margin.
+bench-adaptation:
+	$(GO) run ./cmd/sspd-bench -adaptation BENCH_adaptation.json
 
 # Every experiment table/figure (EXPERIMENTS.md).
 bench:

@@ -46,6 +46,7 @@ func main() {
 	latencyOut := flag.String("latency", "", "run the latency-attribution bench (tuple-path overhead + federated-P99 accuracy) and write its JSON report to this file")
 	recoveryOut := flag.String("recovery", "", "run the checkpoint/crash-recovery bench (hard kill, quorum restore, bounded replay) and write its JSON report to this file (non-zero exit on committed-result loss or budget breach)")
 	engineOut := flag.String("engine", "", "run the shard-engine bench (vectorized shard engine vs. asynchronous baseline, shard scaling sweep) and write its JSON report to this file (non-zero exit below the 5x speedup bar)")
+	adaptationOut := flag.String("adaptation", "", "run the adaptation-module bench (tuple-routed vs. static downstream selection under a selectivity-drifting workload) and write its JSON report to this file (non-zero exit on tuple loss or when routing misses the noise-calibrated margin)")
 	flag.Parse()
 	if *list {
 		for _, id := range order {
@@ -111,6 +112,13 @@ func main() {
 	}
 	if *engineOut != "" {
 		if err := runEngineBench(*engineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *adaptationOut != "" {
+		if err := runAdaptationBench(*adaptationOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -42,6 +42,7 @@ func main() {
 	traceEvery := flag.Int("trace", 0, "trace 1 in N published tuples (0 disables; spans at GET /traces)")
 	engineKind := flag.String("engine", "", `engine for all entities: "async" (default), "mini", "sched", or "shard"`)
 	profDir := flag.String("profdir", "", "store continuous-profiling pprof captures in this directory (serves GET /profiles)")
+	route := flag.Bool("route", false, "enable Adaptation Module tuple routing: queries split into 3 fragments with replicated middle stages (table at GET /routing; pair with -trace for measured delays)")
 	flag.Parse()
 
 	var transport sspd.Transport
@@ -53,11 +54,16 @@ func main() {
 	defer transport.Close()
 
 	catalog := sspd.NewCatalog(100, 20)
-	fed, err := sspd.NewFederation(transport, catalog, sspd.Options{
+	opts := sspd.Options{
 		Strategy: sspd.Locality,
 		Fanout:   3,
 		Engine:   *engineKind,
-	})
+	}
+	if *route {
+		opts.EnableTupleRouting = true
+		opts.FragmentsPerQuery = 3
+	}
+	fed, err := sspd.NewFederation(transport, catalog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -98,6 +104,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("tracing 1 in %d tuples (latency attribution at GET /cluster/latency)\n", *traceEvery)
+	}
+	if *route {
+		fmt.Println("tuple routing enabled (Adaptation Module; table at GET /routing)")
 	}
 
 	// Background market: publish batches at ~rate tuples/second.

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sspd/internal/dissemination"
+	"sspd/internal/engine"
+	"sspd/internal/simnet"
+	"sspd/internal/stream"
+	"sspd/internal/trace"
+	"sspd/internal/workload"
+)
+
+// chainQuery splits into three single-filter fragments under
+// FragmentsPerQuery: 3, so tuple routing replicates the middle stage.
+func chainQuery(id string) engine.QuerySpec {
+	return engine.QuerySpec{
+		ID:     id,
+		Source: "quotes",
+		Filters: []engine.FilterSpec{
+			{Field: "price", Lo: 0, Hi: 600, Cost: 1},
+			{Field: "volume", Lo: 0, Hi: 800000, Cost: 1},
+			{KeyField: "symbol", Keys: []string{"S0000", "S0001", "S0002"}, Cost: 1},
+		},
+		Load: 5,
+	}
+}
+
+// runRoutingWorkload drives one federation (static or tuple-routed)
+// through an identical deterministic workload and returns the result
+// multiset (seq → count).
+func runRoutingWorkload(t *testing.T, routed bool) map[uint64]int {
+	t.Helper()
+	net := simnet.NewSim(nil)
+	t.Cleanup(func() { net.Close() })
+	opts := Options{Strategy: dissemination.Balanced, Fanout: 2, FragmentsPerQuery: 3}
+	if routed {
+		opts.EnableTupleRouting = true
+		opts.RoutingReplicas = 2
+	}
+	fed, err := New(net, workload.Catalog(100, 20), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddEntity("e", simnet.Point{X: 10}, 4, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	if err := fed.SubmitQueryTo(chainQuery("q"), "e", func(tp stream.Tuple) {
+		mu.Lock()
+		got[tp.Seq]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+	tick := workload.NewTicker(7, 100, 1.2)
+	for i := 0; i < 5; i++ {
+		if err := fed.Publish("quotes", tick.Batch(100)); err != nil {
+			t.Fatal(err)
+		}
+		if !net.Quiesce(5 * time.Second) {
+			t.Fatal("quiesce")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[uint64]int, len(got))
+	for k, v := range got {
+		out[k] = v
+	}
+	return out
+}
+
+// TestTupleRoutingDifferential is the semantics gate: under drop-free
+// links, tuple-routed execution must produce a result multiset
+// IDENTICAL to the static-ordering baseline — routing changes where
+// tuples run, never what they compute.
+func TestTupleRoutingDifferential(t *testing.T) {
+	static := runRoutingWorkload(t, false)
+	routedRes := runRoutingWorkload(t, true)
+	if len(static) == 0 {
+		t.Fatal("static run produced no results; the differential proves nothing")
+	}
+	if len(routedRes) != len(static) {
+		t.Fatalf("distinct result seqs: routed %d, static %d", len(routedRes), len(static))
+	}
+	for seq, n := range static {
+		if routedRes[seq] != n {
+			t.Fatalf("seq %d: routed count %d, static count %d", seq, routedRes[seq], n)
+		}
+	}
+}
+
+// TestTupleRoutingFeedbackLoop drives the full AM loop: replicated
+// placement, per-tuple Choose, trace completions measured into Report,
+// and the observable surfaces (routing table, sspd_am_* families,
+// am.route journal).
+func TestTupleRoutingFeedbackLoop(t *testing.T) {
+	net := simnet.NewSim(nil)
+	defer net.Close()
+	fed, err := New(net, workload.Catalog(100, 20), Options{
+		Strategy:           dissemination.Balanced,
+		Fanout:             2,
+		FragmentsPerQuery:  3,
+		EnableTupleRouting: true,
+		RoutingReplicas:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.AddSource("quotes", simnet.Point{}, StreamRate{TuplesPerSec: 1000, BytesPerTuple: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddEntity("e", simnet.Point{X: 10}, 4, miniFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.EnableTracing(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	defer trace.SetActive(nil)
+	if err := fed.SubmitQueryTo(chainQuery("q"), "e", nil); err != nil {
+		t.Fatal(err)
+	}
+	fed.Settle(2 * time.Second)
+
+	// The routing table knows both candidates before any traffic.
+	routes := fed.AdaptationRoutes()
+	if len(routes) != 2 {
+		t.Fatalf("AdaptationRoutes = %+v, want 2 candidates", routes)
+	}
+	for _, r := range routes {
+		if r.Query != "q" || r.Boundary != "q#1" {
+			t.Fatalf("unexpected route %+v", r)
+		}
+	}
+
+	tick := workload.NewTicker(7, 200, 1.2)
+	for i := 0; i < 4; i++ {
+		if err := fed.Publish("quotes", tick.Batch(100)); err != nil {
+			t.Fatal(err)
+		}
+		if !net.Quiesce(5 * time.Second) {
+			t.Fatal("quiesce")
+		}
+	}
+
+	// Trace completions fed measured delays back into the choosers: a
+	// best candidate emerged and the am.route journal recorded it.
+	routes = fed.AdaptationRoutes()
+	bests := 0
+	for _, r := range routes {
+		if r.Best {
+			bests++
+			if r.DelaySeconds <= 0 {
+				t.Fatalf("best candidate %s has no measured delay: %+v", r.Candidate, r)
+			}
+		}
+	}
+	if bests != 1 {
+		t.Fatalf("%d best candidates in %+v, want exactly 1", bests, routes)
+	}
+	if evs := fed.Journal().Since(0, "am.route"); len(evs) == 0 {
+		t.Fatal("no am.route journal event after measured traffic")
+	}
+
+	// Both metric families surfaces agree the loop ran.
+	var sb strings.Builder
+	if err := fed.MetricsRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"sspd_am_reports_total",
+		"sspd_am_routed_total",
+		"sspd_am_reorders_total",
+		`sspd_am_candidate_delay_seconds{boundary="q#1",candidate="q#1@r0",query="q"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(text, "sspd_am_reports_total 0") {
+		t.Error("sspd_am_reports_total stayed 0 — no delay ever fed back")
+	}
+
+	// AdaptOrdering sweeps count into the shared reorder counter.
+	fed.AdaptOrdering(0)
+	sb.Reset()
+	if err := fed.MetricsRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sspd_am_reorders_total") {
+		t.Error("exposition lost sspd_am_reorders_total")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sspd/internal/coordinator"
@@ -69,6 +70,22 @@ type Options struct {
 	// shard-per-core vectorized engine, DESIGN.md §13). An explicit
 	// factory always wins.
 	Engine string
+	// EnableTupleRouting activates the Adaptation Module's per-tuple
+	// downstream selection (paper §4.2, DESIGN.md §15): every placement
+	// replicates middle query fragments on RoutingReplicas processors
+	// and each inter-fragment tuple is routed to the candidate with the
+	// lowest smoothed observed delay. The AM plane feeds the choosers
+	// from latency-attribution trace completions, so routing needs
+	// EnableTracing to adapt (without it the choosers fall back to
+	// round-robin balancing). Off (the default) is the paper's static
+	// ordering baseline: one instance per fragment, fixed chain.
+	EnableTupleRouting bool
+	// RoutingReplicas is the candidate-set size for middle fragments
+	// when tuple routing is enabled (default 2).
+	RoutingReplicas int
+	// RoutingExplore sends every Nth routed tuple to a non-best
+	// candidate so stale delay scores recover (default 32).
+	RoutingExplore int
 }
 
 // engineFactoryFor resolves an Options.Engine kind to a factory; nil
@@ -112,6 +129,12 @@ func (o Options) normalized() Options {
 	}
 	if o.AdaptationHysteresis <= 0 {
 		o.AdaptationHysteresis = 1
+	}
+	if o.RoutingReplicas <= 0 {
+		o.RoutingReplicas = 2
+	}
+	if o.RoutingExplore <= 0 {
+		o.RoutingExplore = 32
 	}
 	return o
 }
@@ -172,6 +195,17 @@ type Federation struct {
 	// lat is the latency attribution plane (nil until
 	// EnableLatencyAttribution).
 	lat *latencyPlane
+	// spanLat points at the latency plane's span-completion consumer —
+	// copy-on-write so the tracer's completion hook (tuple path) never
+	// takes f.mu. Nil until EnableLatencyAttribution.
+	spanLat atomic.Pointer[latencyPlane]
+	// am is the Adaptation Module plane (nil unless EnableTupleRouting):
+	// it routes trace-measured per-candidate delays back into the
+	// entities' downstream choosers.
+	am *amPlane
+	// amReorders counts operator reorders applied by AdaptOrdering
+	// sweeps across the federation (sspd_am_reorders_total).
+	amReorders metrics.Counter
 	// ckpt is the durable-checkpoint plane (nil until
 	// EnableCheckpoints).
 	ckpt *ckptPlane
@@ -270,6 +304,10 @@ func New(transport simnet.Transport, catalog *stream.Catalog, opts Options) (*Fe
 		f.logger.Info("coordinator."+op, string(leader), "coordinator tree "+op, "level", level)
 	})
 	f.registry.RegisterCollector(f.collectMetrics)
+	if opts.EnableTupleRouting {
+		f.am = newAMPlane(f)
+	}
+	f.registry.RegisterCollector(f.amCollectInto)
 	// A fault-injecting transport exports its injection counters through
 	// the federation's registry.
 	if fp, ok := transport.(interface {
@@ -383,6 +421,9 @@ func (f *Federation) AddEntity(id string, pos simnet.Point, nProcs int, factory 
 		return err
 	}
 	ent.SetResultHandler(f.deliverResult)
+	if f.opts.EnableTupleRouting {
+		ent.SetTupleRouting(f.opts.RoutingReplicas, f.opts.RoutingExplore)
+	}
 	hb, err := coordinator.NewDetector(f.transport, hbID(id), time.Second, 3, nil)
 	if err != nil {
 		ent.Close()
@@ -588,7 +629,7 @@ func (f *Federation) placeOn(entityID string, spec engine.QuerySpec, onResult fu
 		f.logger.Warn("ledger.error", entityID, "ledger start failed",
 			"query", spec.ID, "err", err.Error())
 	}
-	f.latencyRoutesChanged()
+	f.routesChanged()
 	return f.refreshInterests(entityID, spec.Streams())
 }
 
@@ -622,7 +663,7 @@ func (f *Federation) RemoveQuery(id string) error {
 		f.logger.Warn("ledger.error", fq.entity, "ledger stop failed",
 			"query", id, "err", err.Error())
 	}
-	f.latencyRoutesChanged()
+	f.routesChanged()
 	return f.refreshInterests(fq.entity, fq.spec.Streams())
 }
 
@@ -776,6 +817,9 @@ func (f *Federation) JoinEntity(id string, pos simnet.Point, nProcs int, factory
 		return err
 	}
 	ent.SetResultHandler(f.deliverResult)
+	if f.opts.EnableTupleRouting {
+		ent.SetTupleRouting(f.opts.RoutingReplicas, f.opts.RoutingExplore)
+	}
 	hb, err := coordinator.NewDetector(f.transport, hbID(id), time.Second, 3, nil)
 	if err != nil {
 		ent.Close()
@@ -1129,8 +1173,10 @@ func (f *Federation) Monitor() *coordinator.Detector {
 }
 
 // AdaptOrdering runs the Adaptation Module sweep on every entity's
-// engines (where supported), returning total adaptation requests — the
-// federation-wide form of Section 4.2's runtime re-ordering.
+// engines (where supported), returning the number of queries whose
+// operator plan actually changed — the federation-wide form of Section
+// 4.2's runtime re-ordering. Every engine kind reports applied reorders
+// (not requests), so the sum is comparable across mixed engines.
 func (f *Federation) AdaptOrdering(minGain float64) int {
 	f.mu.Lock()
 	entities := make([]*entityNode, 0, len(f.entities))
@@ -1140,8 +1186,13 @@ func (f *Federation) AdaptOrdering(minGain float64) int {
 	f.mu.Unlock()
 	n := 0
 	for _, en := range entities {
-		n += en.ent.AdaptOrdering(minGain)
+		k := en.ent.AdaptOrdering(minGain)
+		if k > 0 {
+			f.logger.Info("am.reorder", en.id, "operator plans re-ordered", "applied", k)
+		}
+		n += k
 	}
+	f.amReorders.Add(int64(n))
 	return n
 }
 
@@ -1385,7 +1436,7 @@ func (f *Federation) Close() {
 		ckpt.close()
 	}
 	if lat != nil {
-		lat.close(tracer)
+		lat.close()
 	}
 	if stats != nil {
 		stats.close()

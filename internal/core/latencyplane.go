@@ -100,11 +100,14 @@ func (f *Federation) EnableLatencyAttribution(interval time.Duration, rules ...s
 		leftover:  latency.NewRecorder(),
 	}
 	f.lat = p
-	tracer := f.tracer
 	f.mu.Unlock()
 
 	p.refreshRoutes()
-	tracer.SetOnComplete(p.onComplete)
+	// The tracer's single completion hook belongs to the federation
+	// dispatcher (set at EnableTracing); publishing the plane through the
+	// copy-on-write pointer routes completions here without the tuple
+	// path ever taking f.mu.
+	f.spanLat.Store(p)
 	f.registry.RegisterCollector(p.collect)
 	if interval > 0 {
 		p.start(interval)
@@ -361,8 +364,9 @@ func (p *latencyPlane) start(interval time.Duration) {
 	}(p.stop, p.done)
 }
 
-// close stops the loop and detaches the completion hook.
-func (p *latencyPlane) close(tracer *trace.Tracer) {
+// close stops the loop and detaches the plane from the federation's
+// span-completion dispatcher.
+func (p *latencyPlane) close() {
 	p.loopMu.Lock()
 	stop, done := p.stop, p.done
 	p.stop, p.done = nil, nil
@@ -371,9 +375,7 @@ func (p *latencyPlane) close(tracer *trace.Tracer) {
 		close(stop)
 		<-done
 	}
-	if tracer != nil {
-		tracer.SetOnComplete(nil)
-	}
+	p.f.spanLat.Store(nil)
 }
 
 // collect renders the plane as Prometheus families on the federation

@@ -216,7 +216,7 @@ func (f *Federation) MigrateQuery(id, toEntity string) error {
 	f.mu.Lock()
 	fq.entity = toEntity
 	f.mu.Unlock()
-	f.latencyRoutesChanged()
+	f.routesChanged()
 	if err := f.ledger.Move(id, toEntity); err != nil {
 		f.logger.Warn("ledger.error", toEntity, "ledger move failed",
 			"query", id, "err", err.Error())

@@ -33,6 +33,11 @@ func (f *Federation) EnableTracing(every, capacity int) (*trace.Tracer, error) {
 	t := trace.New(every, capacity)
 	f.tracer = t
 	trace.SetActive(t)
+	// The tracer has ONE completion hook; the federation dispatcher fans
+	// completions out to whichever planes are live (latency attribution,
+	// the AM routing plane) through copy-on-write pointers, so the hook
+	// itself never takes f.mu.
+	t.SetOnComplete(f.dispatchSpanComplete)
 	return t, nil
 }
 

@@ -136,7 +136,7 @@ func (f *Federation) recoverOrphans(p *ckptPlane, failedID string, pos simnet.Po
 			firstErr = err
 		}
 	}
-	f.latencyRoutesChanged()
+	f.routesChanged()
 	f.logger.Info("recovery.done", failedID, "crash recovery finished",
 		"queries", len(orphans), "recovered", recovered,
 		"elapsed_ms", fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/1000))

@@ -682,6 +682,9 @@ func (p *statsPlane) collect(emit func(metrics.Sample)) {
 	// /cluster/metrics serves the same sspd_engine_* families as
 	// /metrics (no-op while the plane is disabled).
 	f.engineCollectInto(emit)
+	// Likewise the Adaptation Module families (sspd_am_*), so both
+	// endpoints agree on routing state.
+	f.amCollectInto(emit)
 }
 
 func b2f(b bool) float64 {

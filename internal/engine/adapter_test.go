@@ -65,12 +65,13 @@ func TestEngineAdaptOrderingAsync(t *testing.T) {
 	if !e.Drain(2 * time.Second) {
 		t.Fatal("drain")
 	}
+	// AdaptOrdering waits for the control item and reports APPLIED
+	// reorders — the same semantics as every other engine.
 	if n := e.AdaptOrdering(0); n != 1 {
-		t.Fatalf("requested %d adaptations, want 1", n)
+		t.Fatalf("applied %d adaptations, want 1", n)
 	}
-	// The control item applies on the query goroutine; wait for it.
-	if !e.Drain(2 * time.Second) {
-		t.Fatal("drain")
+	if got := e.AdaptationsApplied(); got != 1 {
+		t.Fatalf("AdaptationsApplied = %d, want 1", got)
 	}
 	q, _ := e.Query("q")
 	sels := q.FilterSelectivities()
@@ -91,6 +92,46 @@ func TestEngineAdaptOrderingAsync(t *testing.T) {
 		t.Fatalf("results after adapt = %d, want 1", m.Results)
 	}
 	_ = got
+}
+
+// TestAdaptOrderingAppliedSemantics pins the cross-engine contract: a
+// first sweep on a misordered query applies exactly one reorder, and an
+// immediately repeated sweep applies zero — for EVERY engine kind, so
+// entity- and federation-level sweeps sum comparable numbers.
+func TestAdaptOrderingAppliedSemantics(t *testing.T) {
+	engines := map[string]func() Processor{
+		"mini":  func() Processor { return NewMini("m", testCatalog(t)) },
+		"sched": func() Processor { return NewSched("s", testCatalog(t), PolicyFIFO) },
+		"async": func() Processor { return New("a", testCatalog(t)) },
+		"shard": func() Processor { return NewShard("h", testCatalog(t), 0) },
+	}
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			e := mk()
+			defer e.Close()
+			if err := e.Register(shiftSpec("q"), nil); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				e.Ingest(quote(uint64(i), "ibm", 500, 500))
+			}
+			if d, ok := e.(interface{ Drain(time.Duration) bool }); ok {
+				if !d.Drain(2 * time.Second) {
+					t.Fatal("drain")
+				}
+			}
+			a, ok := e.(Adapter)
+			if !ok {
+				t.Fatalf("%s does not implement Adapter", name)
+			}
+			if n := a.AdaptOrdering(0); n != 1 {
+				t.Fatalf("first sweep applied %d, want 1", n)
+			}
+			if n := a.AdaptOrdering(0); n != 0 {
+				t.Fatalf("second sweep applied %d, want 0 (already optimal)", n)
+			}
+		})
+	}
 }
 
 func TestAdaptOrderingNoFilters(t *testing.T) {

@@ -112,6 +112,10 @@ type Engine struct {
 	// queries — unlike the per-query counters it survives Unregister, so
 	// entity-level drop attribution never loses history.
 	droppedTotal metrics.Counter
+	// adaptApplied counts filter reorders actually applied by query
+	// goroutines (AdaptOrdering control items). Engine-lifetime, so it
+	// surfaces async applies even for since-unregistered queries.
+	adaptApplied metrics.Counter
 }
 
 type runningQuery struct {
@@ -125,6 +129,9 @@ type runningQuery struct {
 	// drops points at the owning engine's lifetime counter (counters must
 	// not be copied, so the backref is a pointer set at Register).
 	drops *metrics.Counter
+	// adapts points at the owning engine's lifetime applied-reorder
+	// counter (same backref pattern as drops).
+	adapts *metrics.Counter
 	// pending counts items from enqueue until their processing
 	// returns, so Drain observes true idleness (an empty queue with a
 	// handler mid-item is not idle).
@@ -155,6 +162,10 @@ type feedItem struct {
 	// adaptGain > 0 marks a control item: instead of feeding a tuple,
 	// the query goroutine re-evaluates its operator ordering.
 	adaptGain float64
+	// adaptDone, when set on an adaptation control item, receives
+	// whether the reorder was applied (buffered so the query goroutine
+	// never blocks on it).
+	adaptDone chan bool
 	// ctl, when set, marks a synchronous state control item
 	// (snapshot/restore/size); see state.go.
 	ctl *stateCtl
@@ -190,9 +201,10 @@ func (e *Engine) Register(spec QuerySpec, emit func(stream.Tuple)) error {
 		return fmt.Errorf("engine %s: query %s already registered", e.name, spec.ID)
 	}
 	rq := &runningQuery{
-		in:    make(chan feedItem, queueDepth),
-		done:  make(chan struct{}),
-		drops: &e.droppedTotal,
+		in:     make(chan feedItem, queueDepth),
+		done:   make(chan struct{}),
+		drops:  &e.droppedTotal,
+		adapts: &e.adaptApplied,
 	}
 	q, err := Compile(spec, e.catalog, func(t stream.Tuple) {
 		rq.results.Inc()
@@ -230,7 +242,13 @@ func (rq *runningQuery) run() {
 			continue
 		}
 		if item.adaptGain > 0 {
-			maybeReorder(rq.q, item.adaptGain)
+			changed := MaybeReorder(rq.q, item.adaptGain)
+			if changed && rq.adapts != nil {
+				rq.adapts.Inc()
+			}
+			if item.adaptDone != nil {
+				item.adaptDone <- changed
+			}
 			rq.pending.Add(-1)
 			continue
 		}
@@ -438,6 +456,11 @@ func (e *Engine) PRMax() float64 {
 // TotalDropped implements TotalDropReporter: the engine-lifetime dropped
 // total across all queries, including since-unregistered ones.
 func (e *Engine) TotalDropped() int64 { return e.droppedTotal.Value() }
+
+// AdaptationsApplied returns the engine-lifetime count of filter
+// reorders applied by query goroutines (AdaptOrdering control items),
+// including those of since-unregistered queries.
+func (e *Engine) AdaptationsApplied() int64 { return e.adaptApplied.Value() }
 
 // Dropped reports the number of tuples dropped by one query's full queue.
 func (e *Engine) Dropped(id string) int64 {

@@ -38,10 +38,12 @@ func ExpectedFilterCost(costs, sels []float64, perm []int) float64 {
 	return total
 }
 
-// maybeReorder applies the optimal filter order to q when it improves
+// MaybeReorder applies the optimal filter order to q when it improves
 // the expected per-tuple cost by at least minGain (relative). It returns
-// whether a reorder happened. The caller must own q (no concurrent Feed).
-func maybeReorder(q *Query, minGain float64) bool {
+// whether a reorder happened. The caller must own q (no concurrent
+// Feed). It is the single source of truth for the reorder decision:
+// every engine's AdaptOrdering and the entity-level AM delegate here.
+func MaybeReorder(q *Query, minGain float64) bool {
 	sels := q.FilterSelectivities()
 	costs := q.FilterCosts()
 	if len(sels) < 2 {
@@ -83,7 +85,7 @@ func (m *MiniEngine) AdaptOrdering(minGain float64) int {
 	defer m.mu.Unlock()
 	n := 0
 	for _, q := range m.queries {
-		if maybeReorder(q, minGain) {
+		if MaybeReorder(q, minGain) {
 			n++
 		}
 	}
@@ -101,7 +103,7 @@ func (e *SchedEngine) AdaptOrdering(minGain float64) int {
 	// between feeds — holding it here means no Feed is in flight.
 	n := 0
 	for _, sq := range e.queries {
-		if maybeReorder(sq.q, minGain) {
+		if MaybeReorder(sq.q, minGain) {
 			n++
 		}
 	}
@@ -110,15 +112,33 @@ func (e *SchedEngine) AdaptOrdering(minGain float64) int {
 
 // AdaptOrdering implements Adapter for Engine: each query adapts on its
 // own goroutine via a control message through its input queue, so the
-// reorder is serialized with Feed. The returned count is the number of
-// queries whose adaptation was REQUESTED (they apply asynchronously).
+// reorder is serialized with Feed. It waits for every accepted control
+// item and returns the number of queries whose plan actually CHANGED —
+// the same applied-count semantics as Mini/Sched/Shard, so entity- and
+// federation-level sweeps sum comparable numbers. A query whose full
+// input queue rejects the control item is skipped (counted as a drop
+// like any other overflow); applies are also surfaced engine-lifetime
+// via AdaptationsApplied.
 func (e *Engine) AdaptOrdering(minGain float64) int {
 	minGain = normalizeGain(minGain)
+	// Enqueue under the read lock so no Unregister can close a queue
+	// mid-loop (enqueue never blocks), but wait OUTSIDE it: a query
+	// goroutine's emit may re-enter this engine under mu.RLock, and
+	// blocking here with a writer queued behind us would deadlock.
+	// Items already enqueued are drained even if the queue closes, so
+	// every accepted control item eventually answers.
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	n := 0
+	pending := make([]chan bool, 0, len(e.queries))
 	for _, rq := range e.queries {
-		if rq.enqueue(feedItem{adaptGain: minGain}) {
+		done := make(chan bool, 1)
+		if rq.enqueue(feedItem{adaptGain: minGain, adaptDone: done}) {
+			pending = append(pending, done)
+		}
+	}
+	e.mu.RUnlock()
+	n := 0
+	for _, done := range pending {
+		if <-done {
 			n++
 		}
 	}

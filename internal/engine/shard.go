@@ -933,7 +933,7 @@ func (sh *shard) processCtl(c *shardCtl) {
 		}
 	case shardCtlAdapt:
 		for _, sq := range sh.queries {
-			if maybeReorder(sq.q, c.minGain) {
+			if MaybeReorder(sq.q, c.minGain) {
 				if sq.vec != nil {
 					sq.vec.resync(sq.q)
 				}

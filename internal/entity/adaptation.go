@@ -65,25 +65,12 @@ func (am *AM) Feed(streamName string, t stream.Tuple) int {
 	return n
 }
 
-// maybeReorder applies the optimal order if it beats the current order
-// by at least minGain.
+// maybeReorder delegates the reorder decision to engine.MaybeReorder —
+// the single source of truth every engine's AdaptOrdering also uses —
+// and counts applied reorders.
 func (am *AM) maybeReorder() {
-	sels := am.q.FilterSelectivities()
-	costs := am.q.FilterCosts()
-	if len(sels) < 2 {
-		return
-	}
-	current := make([]int, len(sels))
-	for i := range current {
-		current[i] = i
-	}
-	best := OptimalFilterOrder(costs, sels)
-	curCost := ExpectedFilterCost(costs, sels, current)
-	bestCost := ExpectedFilterCost(costs, sels, best)
-	if bestCost < curCost*(1-am.minGain) {
-		if err := am.q.ReorderFilters(best); err == nil {
-			am.Adaptations.Inc()
-		}
+	if engine.MaybeReorder(am.q, am.minGain) {
+		am.Adaptations.Inc()
 	}
 }
 
@@ -100,15 +87,29 @@ type Candidate struct {
 // DownstreamChooser picks, per output tuple, the best immediate
 // downstream processor among candidates — the per-tuple routing decision
 // of Section 4.2. Scores are smoothed observed delays; Report feeds
-// measurements back. Safe for concurrent use.
+// measurements back. Safe for concurrent use: the federation's AM plane
+// Reports trace-measured delays from tuple-path goroutines while
+// upstream fragment goroutines call Choose.
 type DownstreamChooser struct {
 	mu    sync.Mutex
 	score map[string]*metrics.EWMA
 	order []string
-	// explore sends every Nth tuple to a random-ish (round-robin)
+	// explore sends every Nth tuple to a non-best (round-robin)
 	// candidate so stale scores recover.
 	explore int
 	n       int
+	// cold rotates the pick among still-unmeasured candidates, so the
+	// feedback round-trip window spreads load instead of slamming the
+	// first candidate in sorted order.
+	cold int
+	// unm is Choose's scratch list of unmeasured candidates (reused to
+	// keep the per-tuple decision allocation-free).
+	unm []string
+	// routed/explored count decisions engine-lifetime: every Choose,
+	// and the subset that probed a non-best candidate (cold-start
+	// rotation or explore tick).
+	routed   int64
+	explored int64
 }
 
 // NewDownstreamChooser builds a chooser over candidate processor IDs.
@@ -123,6 +124,7 @@ func NewDownstreamChooser(candidates []string, explore int) (*DownstreamChooser,
 	c := &DownstreamChooser{
 		score:   make(map[string]*metrics.EWMA, len(candidates)),
 		explore: explore,
+		unm:     make([]string, 0, len(candidates)),
 	}
 	for _, id := range candidates {
 		if _, dup := c.score[id]; dup {
@@ -136,26 +138,92 @@ func NewDownstreamChooser(candidates []string, explore int) (*DownstreamChooser,
 }
 
 // Choose returns the candidate with the lowest smoothed delay,
-// periodically interleaving exploration of the others.
+// periodically interleaving exploration of the others. While any
+// candidate is still unmeasured the pick rotates among the unmeasured
+// ones — the delay report for the first pick is a full feedback
+// round-trip away, and every tuple in that window would otherwise herd
+// onto one processor. Explore ticks skip the current best: probing the
+// candidate already being measured by regular traffic would waste the
+// slot meant to let stale scores recover.
 func (c *DownstreamChooser) Choose() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.n++
-	if c.n%c.explore == 0 {
-		return c.order[(c.n/c.explore)%len(c.order)]
+	c.routed++
+	best := ""
+	bestScore := 0.0
+	unm := c.unm[:0]
+	for _, id := range c.order {
+		e := c.score[id]
+		if !e.Initialized() {
+			unm = append(unm, id)
+			continue
+		}
+		if s := e.Value(); best == "" || s < bestScore {
+			best, bestScore = id, s
+		}
 	}
+	if len(unm) > 0 {
+		c.cold++
+		c.explored++
+		return unm[(c.cold-1)%len(unm)]
+	}
+	if len(c.order) > 1 && c.n%c.explore == 0 {
+		c.explored++
+		k := (c.n / c.explore) % (len(c.order) - 1)
+		for _, id := range c.order {
+			if id == best {
+				continue
+			}
+			if k == 0 {
+				return id
+			}
+			k--
+		}
+	}
+	return best
+}
+
+// Best returns the measured candidate with the lowest smoothed delay,
+// or "" while every candidate is still unmeasured. The AM plane diffs
+// it across Reports to journal preferred-candidate switches.
+func (c *DownstreamChooser) Best() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	best := ""
 	bestScore := 0.0
 	for _, id := range c.order {
 		e := c.score[id]
 		if !e.Initialized() {
-			return id // unmeasured candidates first
+			continue
 		}
 		if s := e.Value(); best == "" || s < bestScore {
 			best, bestScore = id, s
 		}
 	}
 	return best
+}
+
+// Candidates returns the candidate IDs, sorted.
+func (c *DownstreamChooser) Candidates() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// RoutedCount returns how many Choose decisions this chooser has made.
+func (c *DownstreamChooser) RoutedCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routed
+}
+
+// ExploredCount returns how many decisions probed a non-best candidate
+// (cold-start rotation or explore ticks).
+func (c *DownstreamChooser) ExploredCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.explored
 }
 
 // Report feeds an observed delay (seconds) for a candidate back into

@@ -2,6 +2,8 @@ package entity
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -267,6 +269,110 @@ func TestDownstreamChooserExploration(t *testing.T) {
 	// Every 2nd pick explores round-robin, so b still gets traffic.
 	if picks["b"] == 0 {
 		t.Error("exploration never picked the slow candidate")
+	}
+}
+
+// TestDownstreamChooserColdStartRotation pins the cold-start fix: while
+// candidates are unmeasured, successive picks rotate through them
+// instead of herding the whole feedback round-trip window onto the
+// first candidate in sorted order.
+func TestDownstreamChooserColdStartRotation(t *testing.T) {
+	c, err := NewDownstreamChooser([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := map[string]int{}
+	for i := 0; i < 9; i++ {
+		picks[c.Choose()]++
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if picks[id] != 3 {
+			t.Fatalf("cold-start picks unbalanced: %v", picks)
+		}
+	}
+	// Once one candidate is measured, rotation continues over the rest.
+	c.Report("a", 0.5)
+	next := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		next[c.Choose()] = true
+	}
+	if next["a"] || !next["b"] || !next["c"] {
+		t.Fatalf("partial cold-start picks = %v, want rotation over b,c only", next)
+	}
+}
+
+// TestDownstreamChooserExploreSkipsBest pins the explore-tick fix: an
+// exploration slot must probe a NON-best candidate — regular traffic
+// already measures the best one continuously.
+func TestDownstreamChooserExploreSkipsBest(t *testing.T) {
+	c, err := NewDownstreamChooser([]string{"a", "b", "c"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Report("a", 0.001)
+	c.Report("b", 1)
+	c.Report("c", 1)
+	explored := map[string]int{}
+	for i := 0; i < 100; i++ {
+		if pick := c.Choose(); pick != "a" {
+			explored[pick]++
+		}
+	}
+	if explored["b"] == 0 || explored["c"] == 0 {
+		t.Fatalf("explore ticks did not cover both non-best candidates: %v", explored)
+	}
+	if got := c.RoutedCount(); got != 100 {
+		t.Fatalf("RoutedCount = %d, want 100", got)
+	}
+	if got := c.ExploredCount(); got == 0 {
+		t.Fatal("ExploredCount = 0 after 100 explore-eligible picks")
+	}
+}
+
+// TestDownstreamChooserConcurrency hammers Choose/Report/Best/Score
+// from competing goroutines — the production shape, where upstream
+// fragment goroutines route while the AM plane reports trace-measured
+// delays. Run under -race; also asserts every pick stays valid.
+func TestDownstreamChooserConcurrency(t *testing.T) {
+	candidates := []string{"a", "b", "c", "d"}
+	c, err := NewDownstreamChooser(candidates, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, id := range candidates {
+		valid[id] = true
+	}
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if !valid[c.Choose()] {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Report(candidates[(g+i)%len(candidates)], float64(i%7)/1000)
+				_ = c.Best()
+				_ = c.Score(candidates[i%len(candidates)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d invalid picks under concurrency", bad.Load())
+	}
+	if got := c.RoutedCount(); got != 4*5000 {
+		t.Fatalf("RoutedCount = %d, want %d", got, 4*5000)
 	}
 }
 

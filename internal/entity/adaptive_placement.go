@@ -1,12 +1,6 @@
 package entity
 
-import (
-	"fmt"
-	"sort"
-
-	"sspd/internal/engine"
-	"sspd/internal/stream"
-)
+import "sspd/internal/engine"
 
 // PlaceQueryAdaptive places a query with REPLICATED middle fragments and
 // per-tuple adaptive routing between them — the second half of Section
@@ -14,160 +8,12 @@ import (
 // query fragment is (re)placed onto a processor ... the AM adaptively
 // chooses the immediate downstream processor for an output tuple".
 //
-// Fragment 0 (fed by the delegation processor) and the final fragment
-// (which may hold stateful operators and must not duplicate results) get
-// one instance each; every middle fragment — a stateless filter stage,
-// so any replica produces identical output for a tuple — is registered
-// on `replicas` processors. Each upstream stage routes every output
-// tuple to the candidate with the lowest smoothed load, so a slowed
-// processor is avoided within a few tuples.
+// This is the in-process PROBE mode of the shared placement path
+// (placeWith): every routed emit reports the chosen candidate engine's
+// instantaneous load inline, so the chooser tracks load without any
+// external feedback plane. The federation's EnableTupleRouting mode
+// instead leaves the choosers to be fed trace-measured per-candidate
+// delays by the AM plane — the paper's delay-statistics feedback loop.
 func (e *Entity) PlaceQueryAdaptive(spec engine.QuerySpec, nFrags, replicas int) error {
-	if err := spec.Validate(); err != nil {
-		return err
-	}
-	if replicas < 1 {
-		replicas = 1
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return fmt.Errorf("entity %s: closed", e.id)
-	}
-	if _, dup := e.queries[spec.ID]; dup {
-		return fmt.Errorf("entity %s: query %s already placed", e.id, spec.ID)
-	}
-	if replicas > len(e.procs) {
-		replicas = len(e.procs)
-	}
-	frags := SplitSpec(spec, nFrags)
-
-	// Processor choice: least-loaded order, fragments dealt across it;
-	// middle fragments take `replicas` consecutive processors.
-	order := make([]int, len(e.procs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := e.procs[order[a]].eng.Load(), e.procs[order[b]].eng.Load()
-		if la != lb {
-			return la < lb
-		}
-		return order[a] < order[b]
-	})
-	// replicaProcs[i] lists the processors hosting fragment i.
-	replicaProcs := make([][]int, len(frags))
-	cursor := 0
-	for i := range frags {
-		n := 1
-		if i > 0 && i < len(frags)-1 {
-			n = replicas
-		}
-		for r := 0; r < n; r++ {
-			replicaProcs[i] = append(replicaProcs[i], order[cursor%len(order)])
-			cursor++
-		}
-	}
-
-	// Register back to front so each stage's emit can target the next.
-	queryID := spec.ID
-	type reg struct {
-		procIdx int
-		fragIdx int
-	}
-	var registered []reg
-	rollback := func() {
-		for _, r := range registered {
-			_, _ = e.procs[r.procIdx].eng.Unregister(frags[r.fragIdx].ID)
-		}
-	}
-	// emitFor builds the emit closure for one stage instance given the
-	// next stage's candidates (nil = terminal).
-	emitFor := func(fragIdx int, from *procNode) (func(stream.Tuple), error) {
-		if fragIdx == len(frags)-1 {
-			return func(t stream.Tuple) {
-				e.Delivered.Inc()
-				e.mu.Lock()
-				fn := e.results
-				e.mu.Unlock()
-				if fn != nil {
-					fn(queryID, t)
-				}
-			}, nil
-		}
-		next := replicaProcs[fragIdx+1]
-		nextFrag := frags[fragIdx+1].ID
-		if len(next) == 1 {
-			target := e.procs[next[0]]
-			if target == from {
-				feeder := from.feeder
-				return func(t stream.Tuple) { _ = feeder.FeedQuery(nextFrag, t) }, nil
-			}
-			to, tr, fromID := target.id, e.transport, from.id
-			return func(t stream.Tuple) {
-				_ = tr.Send(fromID, to, KindFeed, encodeFeed(nextFrag, t))
-			}, nil
-		}
-		// Multiple candidates: per-tuple adaptive choice by smoothed
-		// load. (In-process we read the candidate engine's load
-		// directly; a distributed build would piggyback this statistic
-		// on acks, as the paper's AM collects it.)
-		ids := make([]string, len(next))
-		byID := make(map[string]*procNode, len(next))
-		for i, pi := range next {
-			ids[i] = string(e.procs[pi].id)
-			byID[ids[i]] = e.procs[pi]
-		}
-		chooser, err := NewDownstreamChooser(ids, 16)
-		if err != nil {
-			return nil, err
-		}
-		tr, fromNode := e.transport, from
-		return func(t stream.Tuple) {
-			pick := chooser.Choose()
-			target := byID[pick]
-			chooser.Report(pick, target.eng.Load())
-			if target == fromNode {
-				_ = fromNode.feeder.FeedQuery(nextFrag, t)
-				return
-			}
-			_ = tr.Send(fromNode.id, target.id, KindFeed, encodeFeed(nextFrag, t))
-		}, nil
-	}
-
-	for i := len(frags) - 1; i >= 0; i-- {
-		for _, pi := range replicaProcs[i] {
-			p := e.procs[pi]
-			emit, err := emitFor(i, p)
-			if err != nil {
-				rollback()
-				return err
-			}
-			if err := p.eng.Register(frags[i], emit); err != nil {
-				rollback()
-				return fmt.Errorf("entity %s: placing %s: %w", e.id, frags[i].ID, err)
-			}
-			registered = append(registered, reg{procIdx: pi, fragIdx: i})
-		}
-	}
-
-	// Delegation fan-out feeds fragment 0's single instance.
-	head := frags[0]
-	headProc := e.procs[replicaProcs[0][0]]
-	for _, s := range head.Streams() {
-		dp := e.procs[e.delegationLocked(s)]
-		dp.mu.Lock()
-		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.ID, node: headProc.id})
-		dp.mu.Unlock()
-	}
-	// Flatten the replica map into the bookkeeping RemoveQuery expects:
-	// one (fragment, processor) pair per registration.
-	pq := &placedQuery{spec: spec}
-	for i := range frags {
-		for _, pi := range replicaProcs[i] {
-			pq.frags = append(pq.frags, frags[i])
-			pq.procs = append(pq.procs, pi)
-		}
-	}
-	e.queries[spec.ID] = pq
-	return nil
+	return e.placeWith(spec, nFrags, placeConfig{replicas: replicas, explore: 16, probe: true})
 }

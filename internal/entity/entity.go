@@ -51,6 +51,12 @@ type Entity struct {
 	// (see SetIngestDedup).
 	dedup bool
 
+	// routingReplicas/routingExplore configure tuple-routed placement
+	// for subsequent PlaceQuery/PrepareQuery calls (SetTupleRouting);
+	// replicas <= 1 keeps the paper's static-ordering baseline.
+	routingReplicas int
+	routingExplore  int
+
 	// Delivered counts result tuples across all queries.
 	Delivered metrics.Counter
 	closed    bool
@@ -83,10 +89,41 @@ type fanoutTarget struct {
 type placedQuery struct {
 	spec  engine.QuerySpec
 	frags []engine.QuerySpec
-	procs []int // processor index per fragment
+	procs []int // processor index per fragment instance
+	// stages maps each frags/procs entry back to its pipeline stage:
+	// tuple-routed placements register several replica instances per
+	// middle stage, and the per-stage view keeps metrics honest (a
+	// tuple traverses ONE instance per stage, so replica means average
+	// within a stage rather than summing).
+	stages []int
+	// routes lists the candidate bindings of every routed fragment
+	// boundary (empty for static placements).
+	routes []RouteBinding
 	// gate buffers head-fragment input while the query is paused
 	// (live migration, DESIGN.md §10).
 	gate *ingestGate
+}
+
+// RouteBinding describes one candidate edge of a tuple-routed fragment
+// boundary: tuples leaving the boundary's upstream stage are routed by
+// Chooser among the boundary's Candidate fragment instances. The
+// federation's AM plane rebuilds its copy-on-write candidate→chooser
+// table from these after every placement change and Reports
+// trace-measured per-candidate delays back into Chooser.
+type RouteBinding struct {
+	// Query is the placed query's ID.
+	Query string
+	// Boundary is the downstream stage's base fragment ID ("q#1").
+	Boundary string
+	// Candidate is this replica instance's ID as registered with its
+	// engine ("q#1@r0") — the node routed trace hops carry.
+	Candidate string
+	// Proc is the hosting processor index.
+	Proc int
+	// Chooser is the boundary's shared routing state (one chooser per
+	// boundary; all upstream instances route through it so delay
+	// statistics pool across senders).
+	Chooser *DownstreamChooser
 }
 
 // New creates an entity with nProcs processors, each running an engine
@@ -273,9 +310,79 @@ func (e *Entity) PlaceQuery(spec engine.QuerySpec, nFrags int) error {
 // place is PlaceQuery with control over the query's initial gate state:
 // paused placements buffer head-fragment input until CommitQuery or
 // ResumeQuery opens the gate — the destination half of live migration.
+// It picks up the entity's tuple-routing configuration (SetTupleRouting),
+// so routed placement flows through the migration machinery unchanged.
 func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
+	e.mu.Lock()
+	cfg := placeConfig{paused: paused, replicas: e.routingReplicas, explore: e.routingExplore}
+	e.mu.Unlock()
+	return e.placeWith(spec, nFrags, cfg)
+}
+
+// SetTupleRouting makes every subsequent placement (PlaceQuery and the
+// migration path's PrepareQuery) replicate middle fragments on
+// `replicas` processors with per-tuple adaptive routing between stages
+// — the candidate-set half of Section 4.2. replicas <= 1 restores the
+// static-ordering baseline. Routed boundaries expect delay feedback
+// through RouteBindings (the federation's AM plane Reports
+// trace-measured per-candidate delays); without feedback the chooser's
+// cold-start rotation degrades to round-robin balancing.
+func (e *Entity) SetTupleRouting(replicas, explore int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.routingReplicas = replicas
+	e.routingExplore = explore
+}
+
+// RouteBindings lists every routed fragment boundary's candidate
+// bindings across placed queries, sorted by query then candidate.
+func (e *Entity) RouteBindings() []RouteBinding {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []RouteBinding
+	for _, id := range ids {
+		out = append(out, e.queries[id].routes...)
+	}
+	return out
+}
+
+// placeConfig controls one placement: initial gate state, middle-stage
+// replication, and the feedback mode of routed boundaries.
+type placeConfig struct {
+	paused   bool
+	replicas int
+	explore  int
+	// probe makes routed emits report the candidate engine's
+	// instantaneous load inline (the in-process probe mode
+	// PlaceQueryAdaptive uses). The federation instead leaves feedback
+	// to trace-measured delays via RouteBindings, as the paper's AM
+	// collects delay statistics from downstream acknowledgements.
+	probe bool
+}
+
+// placeWith is the one placement path: static chains and tuple-routed
+// replicated placements differ only in placeConfig. Fragment 0 (fed by
+// the delegation fan-out) and the final fragment (which may hold
+// stateful operators and must not duplicate results) always get one
+// instance; with replicas > 1 every middle fragment — a stateless
+// filter stage, so any replica produces identical output for a tuple —
+// is registered on `replicas` processors under ordinal instance IDs
+// ("q#1@r0"), and each upstream stage routes every output tuple through
+// the boundary's shared DownstreamChooser.
+func (e *Entity) placeWith(spec engine.QuerySpec, nFrags int, cfg placeConfig) error {
 	if err := spec.Validate(); err != nil {
 		return err
+	}
+	if cfg.replicas < 1 {
+		cfg.replicas = 1
+	}
+	if cfg.explore <= 0 {
+		cfg.explore = 32
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -285,9 +392,14 @@ func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
 	if _, dup := e.queries[spec.ID]; dup {
 		return fmt.Errorf("entity %s: query %s already placed", e.id, spec.ID)
 	}
+	if cfg.replicas > len(e.procs) {
+		cfg.replicas = len(e.procs)
+	}
 	frags := SplitSpec(spec, nFrags)
-	// Choose processors: least-loaded first, one per fragment,
-	// reusing processors round-robin when fragments outnumber them.
+	// Choose processors: least-loaded first, instances dealt across
+	// that order, reusing processors round-robin when instances
+	// outnumber them. Middle fragments take `replicas` consecutive
+	// processors.
 	order := make([]int, len(e.procs))
 	for i := range order {
 		order[i] = i
@@ -299,19 +411,55 @@ func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
 		}
 		return order[a] < order[b]
 	})
-	procIdx := make([]int, len(frags))
+	type instance struct {
+		spec engine.QuerySpec
+		proc int
+	}
+	stages := make([][]instance, len(frags))
+	cursor := 0
 	for i := range frags {
-		procIdx[i] = order[i%len(order)]
+		n := 1
+		if cfg.replicas > 1 && i > 0 && i < len(frags)-1 {
+			n = cfg.replicas
+		}
+		for r := 0; r < n; r++ {
+			inst := instance{spec: frags[i], proc: order[cursor%len(order)]}
+			if n > 1 {
+				// Ordinal replica IDs keep each instance separately
+				// addressable on its engine while migration endpoints
+				// with the same configuration agree on the ID set.
+				inst.spec.ID = fmt.Sprintf("%s@r%d", frags[i].ID, r)
+			}
+			stages[i] = append(stages[i], inst)
+			cursor++
+		}
 	}
 
-	pq := &placedQuery{spec: spec, frags: frags, procs: procIdx, gate: &ingestGate{paused: paused, dedup: e.dedup}}
+	pq := &placedQuery{spec: spec, gate: &ingestGate{paused: cfg.paused, dedup: e.dedup}}
 	queryID := spec.ID
-	registered := make([]int, 0, len(frags))
-	for i := len(frags) - 1; i >= 0; i-- {
-		p := e.procs[procIdx[i]]
-		var emit func(stream.Tuple)
+
+	// One shared chooser per routed boundary (keyed by downstream
+	// stage), built lazily by the first upstream instance that needs it.
+	choosers := make(map[int]*DownstreamChooser)
+	chooserFor := func(stage int) (*DownstreamChooser, error) {
+		if c, ok := choosers[stage]; ok {
+			return c, nil
+		}
+		ids := make([]string, len(stages[stage]))
+		for i, inst := range stages[stage] {
+			ids[i] = inst.spec.ID
+		}
+		c, err := NewDownstreamChooser(ids, cfg.explore)
+		if err != nil {
+			return nil, err
+		}
+		choosers[stage] = c
+		return c, nil
+	}
+	// emitFor builds the emit closure for one instance of stage i.
+	emitFor := func(i int, from *procNode) (func(stream.Tuple), error) {
 		if i == len(frags)-1 {
-			emit = func(t stream.Tuple) {
+			return func(t stream.Tuple) {
 				e.Delivered.Inc()
 				trace.Record(trace.SpanID(t.Span), trace.StageResult, queryID)
 				e.mu.Lock()
@@ -320,41 +468,114 @@ func (e *Entity) place(spec engine.QuerySpec, nFrags int, paused bool) error {
 				if fn != nil {
 					fn(queryID, t)
 				}
-			}
-		} else {
-			nextFrag := frags[i+1].ID
-			nextProc := e.procs[procIdx[i+1]]
-			from := p.id
-			if nextProc == p {
+			}, nil
+		}
+		next := stages[i+1]
+		if len(next) == 1 {
+			nextFrag := next[0].spec.ID
+			nextProc := e.procs[next[0].proc]
+			if nextProc == from {
 				// Same processor: feed directly, no network hop.
-				feeder := p.feeder
-				emit = func(t stream.Tuple) { _ = feeder.FeedQuery(nextFrag, t) }
-			} else {
-				to := nextProc.id
-				tr := e.transport
-				emit = func(t stream.Tuple) {
-					_ = tr.Send(from, to, KindFeed, encodeFeed(nextFrag, t))
-				}
+				feeder := from.feeder
+				return func(t stream.Tuple) { _ = feeder.FeedQuery(nextFrag, t) }, nil
 			}
+			fromID, to, tr := from.id, nextProc.id, e.transport
+			return func(t stream.Tuple) {
+				_ = tr.Send(fromID, to, KindFeed, encodeFeed(nextFrag, t))
+			}, nil
 		}
-		if err := p.eng.Register(frags[i], emit); err != nil {
-			for _, j := range registered {
-				_, _ = e.procs[procIdx[j]].eng.Unregister(frags[j].ID)
+		// Routed boundary: per-tuple adaptive choice among the next
+		// stage's replicas (Section 4.2). The decision itself reads no
+		// clock — sampled tuples get a StageOperator hop stamped under
+		// the chosen instance ID (free for untraced tuples, Span == 0
+		// fast path), and the AM plane Reports the measured hop delta
+		// back into the chooser from span completions.
+		chooser, err := chooserFor(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[string]*procNode, len(next))
+		for _, inst := range next {
+			byID[inst.spec.ID] = e.procs[inst.proc]
+		}
+		tr, fromNode, probe := e.transport, from, cfg.probe
+		return func(t stream.Tuple) {
+			pick := chooser.Choose()
+			target := byID[pick]
+			if probe {
+				// In-process probe mode: score by the candidate
+				// engine's instantaneous load (a distributed build
+				// would piggyback this statistic on acks, as the
+				// paper's AM collects it).
+				chooser.Report(pick, target.eng.Load())
 			}
-			return fmt.Errorf("entity %s: placing %s: %w", e.id, frags[i].ID, err)
-		}
-		registered = append(registered, i)
+			trace.Record(trace.SpanID(t.Span), trace.StageOperator, pick)
+			if target == fromNode {
+				_ = fromNode.feeder.FeedQuery(pick, t)
+				return
+			}
+			_ = tr.Send(fromNode.id, target.id, KindFeed, encodeFeed(pick, t))
+		}, nil
 	}
-	// Delegation fan-out: fragment 0 consumes the source stream(s).
-	head := frags[0]
-	headProc := e.procs[procIdx[0]]
-	for _, s := range head.Streams() {
+
+	type reg struct {
+		proc int
+		id   string
+	}
+	var registered []reg
+	rollback := func() {
+		for _, r := range registered {
+			_, _ = e.procs[r.proc].eng.Unregister(r.id)
+		}
+	}
+	// Register back to front so each stage's emit can target the next.
+	for i := len(frags) - 1; i >= 0; i-- {
+		for _, inst := range stages[i] {
+			p := e.procs[inst.proc]
+			emit, err := emitFor(i, p)
+			if err != nil {
+				rollback()
+				return err
+			}
+			if err := p.eng.Register(inst.spec, emit); err != nil {
+				rollback()
+				return fmt.Errorf("entity %s: placing %s: %w", e.id, inst.spec.ID, err)
+			}
+			registered = append(registered, reg{proc: inst.proc, id: inst.spec.ID})
+		}
+	}
+	// Delegation fan-out: fragment 0's single instance consumes the
+	// source stream(s) through the query's gate.
+	head := stages[0][0]
+	headProc := e.procs[head.proc]
+	for _, s := range head.spec.Streams() {
 		di := e.delegationLocked(s)
 		dp := e.procs[di]
 		dp.mu.Lock()
-		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.ID, node: headProc.id, gate: pq.gate})
+		dp.fanout[s] = append(dp.fanout[s], fanoutTarget{frag: head.spec.ID, node: headProc.id, gate: pq.gate})
 		dp.mu.Unlock()
 	}
+	// Flatten instances into the (fragment, processor, stage) triples
+	// the removal/snapshot/metrics paths iterate.
+	for i := range stages {
+		for _, inst := range stages[i] {
+			pq.frags = append(pq.frags, inst.spec)
+			pq.procs = append(pq.procs, inst.proc)
+			pq.stages = append(pq.stages, i)
+		}
+	}
+	for stage, ch := range choosers {
+		for _, inst := range stages[stage] {
+			pq.routes = append(pq.routes, RouteBinding{
+				Query:     queryID,
+				Boundary:  frags[stage].ID,
+				Candidate: inst.spec.ID,
+				Proc:      inst.proc,
+				Chooser:   ch,
+			})
+		}
+	}
+	sort.Slice(pq.routes, func(a, b int) bool { return pq.routes[a].Candidate < pq.routes[b].Candidate })
 	e.queries[spec.ID] = pq
 	return nil
 }
@@ -425,11 +646,14 @@ func (e *Entity) QueryPlacement(id string) ([]int, bool) {
 }
 
 // QueryPerf reports a placed query's measured delay d and processing
-// time p in seconds, summed over its fragments (a tuple traverses every
-// fragment in sequence, so per-fragment means add). ok is false when the
-// query is unknown or its engines expose no metrics (e.g. MiniEngine).
-// The federation's metrics collector divides the two into the paper's
-// per-query Performance Ratio PR_k = d_k / p_k.
+// time p in seconds, summed over its stages (a tuple traverses every
+// stage in sequence, so per-stage means add). A routed stage's replicas
+// each see a share of the traffic, so the stage mean pools their raw
+// Sum/Count instead of adding per-replica means — adding would count
+// the stage once per replica. ok is false when the query is unknown or
+// its engines expose no metrics (e.g. MiniEngine). The federation's
+// metrics collector divides the two into the paper's per-query
+// Performance Ratio PR_k = d_k / p_k.
 func (e *Entity) QueryPerf(id string) (d, p float64, ok bool) {
 	e.mu.Lock()
 	pq, found := e.queries[id]
@@ -438,11 +662,22 @@ func (e *Entity) QueryPerf(id string) (d, p float64, ok bool) {
 		return 0, 0, false
 	}
 	frags := pq.frags
+	stages := pq.stages
 	procs := make([]*procNode, len(pq.frags))
 	for i := range pq.frags {
 		procs[i] = e.procs[pq.procs[i]]
 	}
 	e.mu.Unlock()
+	nStages := 0
+	for _, s := range stages {
+		if s+1 > nStages {
+			nStages = s + 1
+		}
+	}
+	dSum := make([]float64, nStages)
+	dCount := make([]float64, nStages)
+	pSum := make([]float64, nStages)
+	pCount := make([]float64, nStages)
 	for i, frag := range frags {
 		rep, isRep := procs[i].eng.(engine.MetricsReporter)
 		if !isRep {
@@ -452,9 +687,20 @@ func (e *Entity) QueryPerf(id string) (d, p float64, ok bool) {
 		if !has {
 			return 0, 0, false
 		}
-		d += m.Delay.Mean
-		p += m.Processing.Mean
+		s := stages[i]
+		dSum[s] += m.Delay.Sum
+		dCount[s] += float64(m.Delay.Count)
+		pSum[s] += m.Processing.Sum
+		pCount[s] += float64(m.Processing.Count)
 		ok = true
+	}
+	for s := 0; s < nStages; s++ {
+		if dCount[s] > 0 {
+			d += dSum[s] / dCount[s]
+		}
+		if pCount[s] > 0 {
+			p += pSum[s] / pCount[s]
+		}
 	}
 	return d, p, ok
 }
@@ -686,7 +932,9 @@ func (e *Entity) RebalanceOnce(threshold float64, nFrags int) (bool, error) {
 // AdaptOrdering asks every processor engine that supports it (the
 // engine.Adapter capability) to re-order its queries' commutable
 // operators from observed statistics — the entity-wide Adaptation Module
-// sweep. It returns the number of adaptation requests honored.
+// sweep. It returns the number of queries whose plan actually changed
+// (every engine's AdaptOrdering reports applied reorders, so the sum is
+// comparable across engine kinds).
 func (e *Entity) AdaptOrdering(minGain float64) int {
 	e.mu.Lock()
 	procs := make([]*procNode, len(e.procs))

@@ -449,7 +449,7 @@ func TestPlaceQueryAdaptiveAvoidsLoadedReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	placement, _ := e.QueryPlacement("qa")
-	// Flattened layout: [frag0, frag1-replicaA, frag1-replicaB, frag2].
+	// Flattened layout: [frag0, frag1@r0, frag1@r1, frag2].
 	replicaA, replicaB := placement[1], placement[2]
 	// Load replica A's processor with heavy dummy queries.
 	for i := 0; i < 5; i++ {
@@ -472,8 +472,8 @@ func TestPlaceQueryAdaptiveAvoidsLoadedReplica(t *testing.T) {
 	// The middle fragment ran mostly on the light replica.
 	miniA := e.procs[replicaA].eng.(*engine.MiniEngine)
 	miniB := e.procs[replicaB].eng.(*engine.MiniEngine)
-	servedA := miniA.Results("qa#1")
-	servedB := miniB.Results("qa#1")
+	servedA := miniA.Results("qa#1@r0")
+	servedB := miniB.Results("qa#1@r1")
 	if servedA+servedB != 200 {
 		t.Fatalf("replica results %d+%d != 200", servedA, servedB)
 	}

@@ -66,7 +66,7 @@ func E12AdaptiveRouting() Table {
 	var prevA, prevB int64
 	prevResults := 0
 	snapshot := func(phase string, tuples int) {
-		curA, curB := engA.Results("q#1"), engB.Results("q#1")
+		curA, curB := engA.Results("q#1@r0"), engB.Results("q#1@r1")
 		t.Rows = append(t.Rows, []string{
 			phase, d(int64(tuples)),
 			d(curA - prevA), d(curB - prevB),

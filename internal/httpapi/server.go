@@ -13,6 +13,7 @@
 //	POST   /rebalance         run a hybrid rebalance
 //	GET    /entities          entity list with loads and charges
 //	GET    /stats             federation-level statistics
+//	GET    /routing           Adaptation Module routing table (candidate delays)
 //	GET    /metrics           Prometheus text exposition (federation registry)
 //	GET    /traces            recent trace spans (tracing must be enabled)
 //	GET    /traces/{id}       one span's hop-by-hop journey
@@ -159,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rebalance", s.rebalance)
 	mux.HandleFunc("GET /entities", s.listEntities)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /routing", s.routing)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /traces", s.listTraces)
 	mux.HandleFunc("GET /traces/{id}", s.getTrace)
@@ -477,4 +479,16 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		"edge_cut":   g.EdgeCut(assign),
 		"active_acc": s.fed.Ledger().ActiveQueries(),
 	})
+}
+
+// routing serves the Adaptation Module's live routing table: every
+// routed fragment boundary's candidates with their smoothed observed
+// delays and the current preferred pick. Empty when tuple routing is
+// disabled.
+func (s *Server) routing(w http.ResponseWriter, _ *http.Request) {
+	routes := s.fed.AdaptationRoutes()
+	if routes == nil {
+		routes = []core.RouteStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"routes": routes})
 }

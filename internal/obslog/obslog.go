@@ -25,6 +25,7 @@
 //	slo.watch / slo.breach / slo.clear
 //	engine.watch / engine.saturated / engine.recovered
 //	profile.enable / profile.captured
+//	am.route / am.reorder / am.explore
 package obslog
 
 import (
